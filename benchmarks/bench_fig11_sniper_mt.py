@@ -1,0 +1,104 @@
+"""Fig. 11: Sniper results for multi-threaded ELFies and pinballs.
+
+The SPEC CPU2017 OpenMP speed subset runs with eight threads and active
+waiting.  For each app a fixed-length multi-threaded region is captured
+as a pinball; the pinball is simulated constrained, the ELFie
+unconstrained with a ``(PC, count)`` end condition from a profiling
+run.  The paper's observations to reproduce:
+
+- constrained pinball simulation retires exactly the recorded
+  instruction count,
+- unconstrained ELFie simulation retires *more* instructions (spin
+  loops run for however long simulated timing makes threads wait) —
+  except for the single-threaded ``657.xz_s``, which matches exactly,
+- the runtime predictions of the two modes differ (constrained replay
+  introduces artificial stalls).
+"""
+
+from conftest import FAST, publish
+
+from repro.analysis import Table
+from repro.core import MarkerSpec, Pinball2Elf, Pinball2ElfOptions
+from repro.pinplay import RegionSpec, log_region
+from repro.simulators import SniperSim
+from repro.simulators.sniper import find_end_condition
+from repro.workloads import SPEC2017_OMP_SPEED
+
+APPS = list(SPEC2017_OMP_SPEED)
+if FAST:
+    APPS = ["638.imagick_s", "657.xz_s"]
+
+
+def _simulate_app(name, params):
+    app = SPEC2017_OMP_SPEED[name]
+    image = app.build(params["input_set"])
+    region_len = params["mt_region"]
+    if app.threads == 1:
+        region_len //= 4
+    region = RegionSpec(start=region_len // 4, length=region_len,
+                        name=name + ".mt")
+    pinball = log_region(image, region, seed=5)
+    artifact = Pinball2Elf(pinball, Pinball2ElfOptions(
+        marker=MarkerSpec("sniper", 0x11))).convert()
+    end_pc, end_count = find_end_condition(pinball)
+    sim = SniperSim()
+    constrained = sim.simulate_pinball(pinball)
+    unconstrained = sim.simulate_elfie(artifact.image, end_pc=end_pc,
+                                       end_count=end_count, seed=13)
+    return pinball, constrained, unconstrained
+
+
+def test_fig11_sniper_mt_elfies_vs_pinballs(benchmark, bench_params):
+    def experiment():
+        return {name: _simulate_app(name, bench_params) for name in APPS}
+
+    results = benchmark.pedantic(experiment, rounds=1, iterations=1)
+
+    table = Table(
+        title=("Fig. 11: Sniper, multi-threaded ELFies vs pinballs (PB); "
+               "instruction counts relative to the recording"),
+        headers=["app", "threads", "recorded", "PB sim", "ELFie sim",
+                 "ELFie/rec", "PB runtime", "ELFie runtime"],
+    )
+    ratios = {}
+    for name, (pinball, constrained, unconstrained) in results.items():
+        ratio = unconstrained.instructions / pinball.region_icount
+        ratios[name] = ratio
+        table.add_row(
+            name,
+            pinball.num_threads,
+            "{:,}".format(pinball.region_icount),
+            "{:,}".format(constrained.instructions),
+            "{:,}".format(unconstrained.instructions),
+            "%.3fx" % ratio,
+            "%.0f" % constrained.runtime_cycles,
+            "%.0f" % unconstrained.runtime_cycles,
+        )
+    publish("fig11_sniper_mt", table.render())
+
+    for name, (pinball, constrained, unconstrained) in results.items():
+        # pinball simulation matches the recorded count exactly
+        assert constrained.instructions == pinball.region_icount, name
+        if pinball.num_threads == 1:
+            # xz_s: single-threaded — ELFie matches too (paper)
+            assert abs(ratios[name] - 1.0) < 0.02, name
+        else:
+            # unconstrained runs reach the same work point; the count
+            # differs only by spin (a small deficit can appear when the
+            # ELFie spins *less* than the recorded native run did)
+            assert 0.90 < ratios[name] < 2.5, name
+        # runtime predictions of the two modes differ
+        assert (constrained.runtime_cycles
+                != unconstrained.runtime_cycles), name
+    # spin-loop inflation shows on some MT apps (paper: "much higher";
+    # our synthetic imbalance is milder, so the tail is thinner)
+    mt_ratios = [ratios[name] for name in APPS
+                 if results[name][0].num_threads > 1]
+    inflated = sum(1 for ratio in mt_ratios if ratio > 1.01)
+    assert inflated >= 1
+    # and the ST app is the closest-to-exact of all (the xz_s row)
+    st_names = [name for name in APPS
+                if results[name][0].num_threads == 1]
+    for name in st_names:
+        assert abs(ratios[name] - 1.0) <= min(
+            abs(r - 1.0) for r in mt_ratios) + 0.02

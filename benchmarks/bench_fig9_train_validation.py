@@ -1,0 +1,105 @@
+"""Fig. 9: prediction errors, simulation-based vs ELFie-based validation.
+
+SPEC CPU2017 int rate (train inputs, scaled), PinPoints region
+selection.  For every app the whole-program CPI and the region-weighted
+predicted CPI are computed three ways:
+
+- **simulation-based** (the traditional approach): whole program and
+  each region ELFie simulated with the CoreSim-like detailed model,
+- **ELFie-based, two instances**: whole program and region ELFies run
+  natively with hardware counters, two independent measurement passes
+  (different scheduler seeds), as in the paper's two hardware runs.
+
+The paper's observation to reproduce: the errors do not match exactly
+across methods, but follow similar trends — and gcc is the hardest app.
+"""
+
+from conftest import FAST, publish
+
+from repro.analysis import Table, bar_chart
+from repro.simpoint import (
+    run_pinpoints,
+    validate_with_elfies,
+    validate_with_simulator,
+)
+from repro.simulators import CoreSim, CoreSimConfig
+from repro.workloads import SPEC2017_INT_RATE
+
+APPS = list(SPEC2017_INT_RATE) if not FAST else [
+    "502.gcc_r", "505.mcf_r", "531.deepsjeng_r"]
+
+
+def _validate_one(app_name, params):
+    app = SPEC2017_INT_RATE[app_name]
+    image = app.build(params["input_set"])
+    pinpoints = run_pinpoints(
+        image, app.name,
+        slice_size=params["slice_size"],
+        warmup=params["warmup"],
+        max_k=params["max_k"],
+        max_alternates=2,
+    )
+    simulator = CoreSim(CoreSimConfig(frontend="sde"))
+
+    def whole_cpi():
+        return simulator.simulate_program(image).user_cpi
+
+    def region_cpi(artifact, region):
+        warmup = region.start - region.warmup_start
+        result = simulator.simulate_elfie(artifact.image,
+                                          roi_budget=region.length,
+                                          warmup_budget=warmup)
+        if result.measured_instructions < region.length:
+            return None  # the ELFie died before the window completed
+        return result.measured_cpi
+
+    simulated = validate_with_simulator(pinpoints, whole_cpi, region_cpi)
+    elfie_a = validate_with_elfies(pinpoints, seed=100,
+                                   trials=params["trials"])
+    elfie_b = validate_with_elfies(pinpoints, seed=2200,
+                                   trials=params["trials"])
+    return simulated, elfie_a, elfie_b
+
+
+def test_fig9_prediction_errors(benchmark, bench_params):
+    def experiment():
+        results = {}
+        for app_name in APPS:
+            results[app_name] = _validate_one(app_name, bench_params)
+        return results
+
+    results = benchmark.pedantic(experiment, rounds=1, iterations=1)
+
+    table = Table(
+        title=("Fig. 9: prediction errors (%), simulation-based vs two "
+               "ELFie-based instances"),
+        headers=["app", "simulation", "ELFie run 1", "ELFie run 2",
+                 "coverage"],
+    )
+    chart_entries = []
+    for app_name, (simulated, elfie_a, elfie_b) in results.items():
+        table.add_row(
+            app_name,
+            "%.2f" % simulated.abs_error_percent,
+            "%.2f" % elfie_a.abs_error_percent,
+            "%.2f" % elfie_b.abs_error_percent,
+            "%.0f%%" % (100 * elfie_a.covered_weight),
+        )
+        chart_entries.append((app_name, elfie_a.abs_error_percent))
+    rendering = table.render() + "\n\n" + bar_chart(
+        "ELFie-based prediction error by app (%)", chart_entries, unit="%")
+    publish("fig9_train_validation", rendering)
+
+    errors_sim = [simulated.abs_error_percent
+                  for simulated, _, _ in results.values()]
+    errors_elfie = [elfie.abs_error_percent
+                    for _, elfie, _ in results.values()]
+    # Shape assertions: both methods produce sane, correlated errors.
+    assert all(err < 75 for err in errors_sim + errors_elfie)
+    # The two ELFie instances agree with each other closely.
+    for _, elfie_a, elfie_b in results.values():
+        assert abs(elfie_a.abs_error_percent
+                   - elfie_b.abs_error_percent) < 12.0
+    # Coverage is high (ELFies mostly execute correctly).
+    assert all(elfie.covered_weight > 0.7
+               for _, elfie, _ in results.values())

@@ -1,0 +1,59 @@
+"""Table II: tuning gcc's PinPoints with a longer warmup region.
+
+The paper's Fig. 9 shows a high error for gcc; increasing the warmup
+from 800 M to 1.2 B instructions brought the prediction error down
+(Table II).  The mechanism is microarchitectural: a longer warmup
+leaves caches and TLBs in a state closer to the region's in-context
+state, so the measured region CPI better matches its contribution to
+the whole run.
+
+Scaled here: warmup 80 K -> 120 K around 20 K-instruction slices, with
+an additional *no-warmup* column to show the full trend.
+"""
+
+from conftest import publish
+
+from repro.analysis import Table
+from repro.simpoint import run_pinpoints, validate_with_elfies
+from repro.workloads import SPEC2017_INT_RATE
+
+WARMUPS = (0, 80_000, 120_000)     # paper: 800 M -> 1.2 B
+
+
+def test_table2_gcc_warmup_tuning(benchmark, bench_params):
+    app = SPEC2017_INT_RATE["502.gcc_r"]
+    image = app.build(bench_params["input_set"])
+
+    def experiment():
+        errors = {}
+        for warmup in WARMUPS:
+            pinpoints = run_pinpoints(
+                image, app.name,
+                slice_size=bench_params["slice_size"],
+                warmup=warmup,
+                max_k=bench_params["max_k"],
+                max_alternates=2,
+            )
+            validation = validate_with_elfies(
+                pinpoints, trials=bench_params["trials"])
+            errors[warmup] = (validation.abs_error_percent,
+                              validation.covered_weight)
+        return errors
+
+    errors = benchmark.pedantic(experiment, rounds=1, iterations=1)
+
+    table = Table(
+        title=("Table II: gcc prediction error vs warmup length "
+               "(paper: 800 M -> 1.2 B lowered the error)"),
+        headers=["warmup (instructions)", "|error| %", "coverage"],
+    )
+    for warmup in WARMUPS:
+        error, coverage = errors[warmup]
+        table.add_row("{:,}".format(warmup), "%.2f" % error,
+                      "%.0f%%" % (100 * coverage))
+    publish("table2_gcc_warmup", table.render())
+
+    # Shape: warmup helps — the biggest warmup beats no warmup, and
+    # does not do worse than the baseline warmup.
+    assert errors[120_000][0] <= errors[0][0]
+    assert errors[120_000][0] <= errors[80_000][0] + 1.0

@@ -1,0 +1,66 @@
+"""Table III: basic statistics for the SPEC CPU2017 ref PinPoints run.
+
+The ref case study (§IV-A2) applies PinPoints to the int + fp rate
+apps with reference inputs — runs far too long for whole-program
+simulation, which is exactly why ELFie-based validation matters.  The
+table reports, per app: the dynamic instruction count, the number of
+200 M (here 20 K) slices, the chosen cluster count k, and the number of
+selected regions.
+
+Scaled: ref inputs are 8x train (paper's ref/train icount ratios vary
+by app from ~3x to ~100x; a single factor keeps the suite tractable).
+"""
+
+from conftest import FAST, publish
+
+from repro.analysis import Table
+from repro.simpoint import collect_bbv, select_simpoints
+from repro.workloads import SPEC2017_FP_RATE, SPEC2017_INT_RATE
+
+APPS = {**SPEC2017_INT_RATE, **SPEC2017_FP_RATE}
+# keep the bench inside a practical single-core budget: the int suite
+# plus a representative fp subset (the full dict runs identically)
+_SELECT = list(SPEC2017_INT_RATE)[:7] + ["503.bwaves_r", "519.lbm_r",
+                                         "544.nab_r"]
+APPS = {name: APPS[name] for name in _SELECT}
+if FAST:
+    APPS = {name: APPS[name]
+            for name in ("502.gcc_r", "505.mcf_r", "519.lbm_r")}
+
+
+def test_table3_ref_statistics(benchmark, bench_params):
+    slice_size = bench_params["slice_size"]
+
+    def experiment():
+        stats = {}
+        for name, app in APPS.items():
+            image = app.build("ref" if not FAST else "train")
+            profile = collect_bbv(image, slice_size=slice_size)
+            simpoints = select_simpoints(profile,
+                                         max_k=bench_params["max_k"])
+            stats[name] = (profile.total_icount, profile.num_slices,
+                           simpoints.k, app.suite)
+        return stats
+
+    stats = benchmark.pedantic(experiment, rounds=1, iterations=1)
+
+    table = Table(
+        title=("Table III: SPEC CPU2017 ref statistics "
+               "(icounts scaled ~1000:1 from the paper)"),
+        headers=["app", "suite", "dynamic icount", "slices", "regions (k)"],
+    )
+    for name, (icount, slices, k, suite) in sorted(stats.items()):
+        table.add_row(name, suite, "{:,}".format(icount), slices, k)
+    total = sum(icount for icount, _, _, _ in stats.values())
+    table.add_row("total", "", "{:,}".format(total), "", "")
+    publish("table3_ref_stats", table.render())
+
+    icounts = [icount for icount, _, _, _ in stats.values()]
+    # Shape: a spread of program lengths (the paper's 1.3 B - 452 B is
+    # compressed by the single ref scale factor; see the module doc)
+    if not FAST:
+        assert max(icounts) > 1.5 * min(icounts)
+    # every app yields a meaningful number of slices and regions
+    for name, (icount, slices, k, _) in stats.items():
+        assert slices >= 10, name
+        assert 1 <= k <= bench_params["max_k"], name

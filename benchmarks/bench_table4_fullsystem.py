@@ -1,0 +1,94 @@
+"""Table IV: application-level vs full-system simulation with CoreSim.
+
+An identical ELFie (a single-region SimPoint of 525.x264_r) is
+simulated twice on the CoreSim-like detailed model: once with the
+SDE-style user-only front-end and once with the Simics-style
+full-system front-end.  Paper numbers for the 10 B-instruction region:
++1.6% ring-0 instructions, +5.2% runtime, +45.4% data footprint — a
+disproportionate effect from relatively few OS instructions.
+"""
+
+from conftest import publish
+
+from repro.analysis import Table
+from repro.simpoint import collect_bbv, select_simpoints
+from repro.simulators import CoreSim, CoreSimConfig
+from repro.workloads import SPEC2017_INT_RATE
+from repro.core import MarkerSpec, Pinball2Elf, Pinball2ElfOptions
+from repro.pinplay import log_region
+
+
+def test_table4_user_vs_full_system(benchmark, bench_params):
+    app = SPEC2017_INT_RATE["525.x264_r"]
+    image = app.build(bench_params["input_set"])
+    region_len = bench_params["table4_region"]
+
+    def experiment():
+        # single-region SimPoint: the heaviest cluster's representative
+        profile = collect_bbv(image, slice_size=region_len)
+        simpoints = select_simpoints(profile, max_k=6)
+        best = max(simpoints.clusters, key=lambda c: c.weight)
+        region = simpoints.regions()[0]
+        for candidate in simpoints.regions():
+            if candidate.name.endswith(str(best.cluster_id)):
+                region = candidate
+                break
+        pinball = log_region(image, region, seed=1)
+        artifact = Pinball2Elf(pinball, Pinball2ElfOptions(
+            perf_exit=True, marker=MarkerSpec("simics", 0x1))).convert()
+        user = CoreSim(CoreSimConfig(frontend="sde")).simulate_elfie(
+            artifact.image, roi_budget=region_len)
+        full = CoreSim(CoreSimConfig(frontend="simics")).simulate_elfie(
+            artifact.image, roi_budget=region_len)
+        return user, full
+
+    user, full = benchmark.pedantic(experiment, rounds=1, iterations=1)
+
+    def delta(new, old):
+        return 100.0 * (new - old) / old if old else 0.0
+
+    table = Table(
+        title=("Table IV: user-only (SDE) vs full-system (Simics) "
+               "CoreSim simulation of one x264 ELFie"),
+        headers=["statistic", "user-only", "full-system", "delta",
+                 "paper delta"],
+    )
+    table.add_row("ring-3 instructions", user.instructions_ring3,
+                  full.instructions_ring3, "0.0%", "0.0%")
+    table.add_row("ring-0 instructions", user.instructions_ring0,
+                  full.instructions_ring0,
+                  "+%.1f%% of ring3" % (100.0 * full.instructions_ring0
+                                        / full.instructions_ring3),
+                  "+1.6%")
+    table.add_row("runtime (cycles)", "%.0f" % user.runtime_cycles,
+                  "%.0f" % full.runtime_cycles,
+                  "%+.1f%%" % delta(full.runtime_cycles,
+                                    user.runtime_cycles), "+5.2%")
+    table.add_row("data footprint (KiB)",
+                  user.data_footprint_bytes // 1024,
+                  full.data_footprint_bytes // 1024,
+                  "%+.1f%%" % delta(full.data_footprint_bytes,
+                                    user.data_footprint_bytes), "+45.4%")
+    table.add_row("DTLB misses", user.dtlb_misses, full.dtlb_misses,
+                  "%+.1f%%" % delta(full.dtlb_misses, user.dtlb_misses),
+                  "n/a")
+    table.add_row("LLC misses", user.llc_misses, full.llc_misses,
+                  "%+.1f%%" % delta(full.llc_misses, user.llc_misses),
+                  "n/a")
+    table.add_row("prefetch lines", user.prefetch_lines,
+                  full.prefetch_lines,
+                  "%+.1f%%" % delta(full.prefetch_lines,
+                                    user.prefetch_lines), "n/a")
+    publish("table4_fullsystem", table.render())
+
+    # Shape assertions (Table IV's qualitative content).
+    assert user.instructions_ring0 == 0
+    assert user.instructions_ring3 == full.instructions_ring3
+    ring0_share = full.instructions_ring0 / full.instructions_ring3
+    assert 0.001 < ring0_share < 0.08
+    runtime_delta = ((full.runtime_cycles - user.runtime_cycles)
+                     / user.runtime_cycles)
+    # the few OS instructions have a disproportionate runtime effect
+    assert runtime_delta > ring0_share
+    assert full.data_footprint_bytes > user.data_footprint_bytes
+    assert full.dtlb_misses > user.dtlb_misses

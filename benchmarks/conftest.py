@@ -1,0 +1,54 @@
+"""Shared fixtures and output plumbing for the paper's tables/figures.
+
+Every bench regenerates one table or figure from the paper and writes
+its rendering both to stdout and to ``benchmarks/results/<name>.txt``
+(the files EXPERIMENTS.md references).
+
+Scale: all instruction counts are scaled down from the paper (see
+DESIGN.md §4).  Set ``REPRO_BENCH_FAST=1`` to shrink the workloads
+further for a quick smoke run.
+"""
+
+import os
+
+import pytest
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+#: Fast mode: smaller inputs, fewer clusters (for smoke runs).
+FAST = os.environ.get("REPRO_BENCH_FAST", "") not in ("", "0")
+
+
+def publish(name: str, text: str) -> None:
+    """Print a result artifact and persist it under benchmarks/results."""
+    print()
+    print(text)
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    with open(os.path.join(RESULTS_DIR, name + ".txt"), "w") as handle:
+        handle.write(text + "\n")
+
+
+@pytest.fixture(scope="session")
+def bench_params():
+    """Suite-wide experiment parameters (paper values, scaled)."""
+    if FAST:
+        return {
+            "input_set": "test",
+            "slice_size": 10_000,
+            "warmup": 20_000,
+            "max_k": 6,
+            "trials": 1,
+            "mt_region": 240_000,
+            "gem5_budget": 10_000,
+            "table4_region": 60_000,
+        }
+    return {
+        "input_set": "train",
+        "slice_size": 20_000,     # paper: 200 M
+        "warmup": 80_000,         # paper: 800 M
+        "max_k": 12,              # paper: 50 (scaled with slice count)
+        "trials": 1,              # paper: 10 (cut for wall-clock; PMU is noise-free)
+        "mt_region": 600_000,     # paper: 2.4 B aggregate
+        "gem5_budget": 20_000,    # paper: 1 B slices
+        "table4_region": 200_000,  # paper: 10 B single region
+    }

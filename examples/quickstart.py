@@ -1,0 +1,85 @@
+#!/usr/bin/env python
+"""Quickstart: capture a region, make an ELFie, run it three ways.
+
+This walks the paper's Fig. 1 pipeline end to end:
+
+1. build a test program (a PX binary — the reproduction's x86 stand-in),
+2. run it under the PinPlay logger to capture a region of interest as a
+   fat pinball,
+3. convert the pinball to a stand-alone ELFie with ``pinball2elf``
+   (ROI marker + graceful-exit counters),
+4. replay the pinball (constrained), run the ELFie natively
+   (unconstrained), and simulate the ELFie with the Sniper-like
+   simulator — no simulator modifications required.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.core import MarkerSpec, Pinball2Elf, Pinball2ElfOptions, run_elfie
+from repro.pinplay import RegionSpec, log_region, replay
+from repro.simulators import SniperSim
+from repro.workloads import build_executable
+
+PROGRAM = """
+_start:
+    mov rbx, 1
+    mov rcx, 60000
+work:
+    imul rbx, 6364136223846793005
+    add rbx, 1442695040888963407
+    ld rax, [accum]
+    add rax, rbx
+    st [accum], rax
+    sub rcx, 1
+    cmp rcx, 0
+    jnz work
+    mov rax, 231                ; exit_group(0)
+    mov rdi, 0
+    syscall
+"""
+
+
+def main() -> None:
+    print("== 1. build the test program")
+    image = build_executable(PROGRAM, data_source="accum:\n.quad 0\n")
+    print("   ELF executable: %d bytes" % len(image))
+
+    print("== 2. capture a region of interest as a fat pinball")
+    region = RegionSpec(start=100_000, length=50_000, warmup=20_000,
+                        name="quickstart.r0")
+    pinball = log_region(image, region)
+    print("   pinball: %d page(s), %d thread(s), %d region instructions,"
+          % (len(pinball.pages), pinball.num_threads, pinball.region_icount))
+    print("   %d recorded syscalls, stack at %s"
+          % (len(pinball.syscalls),
+             "0x%x-0x%x" % pinball.stack_range()))
+
+    print("== 3. pinball2elf: convert to a stand-alone ELFie")
+    artifact = Pinball2Elf(pinball, Pinball2ElfOptions(
+        perf_exit=True,                     # graceful exit via HW counters
+        marker=MarkerSpec("sniper", 0x42),  # --roi-start sniper:0x42
+    )).convert()
+    print("   ELFie: %d bytes, entry 0x%x, startup at 0x%x"
+          % (len(artifact.image), artifact.entry, artifact.startup_base))
+
+    print("== 4a. constrained replay of the pinball")
+    result = replay(pinball)
+    print("   replayed %d instructions, matches recording: %s"
+          % (result.total_icount, result.matches_recording))
+
+    print("== 4b. native ELFie run (graceful exit at the recorded count)")
+    run = run_elfie(artifact.image, seed=7)
+    print("   exit: %s, application instructions: %s"
+          % (run.status.kind, run.app_icounts))
+    print("   perfle counters on stderr: %s"
+          % run.perfle_counters())
+
+    print("== 4c. Sniper-like simulation of the ELFie (unmodified)")
+    sim = SniperSim().simulate_elfie(artifact.image,
+                                     roi_budget=pinball.region_icount)
+    print("   simulated %d ROI instructions, runtime %.0f cycles, IPC %.2f"
+          % (sim.instructions, sim.runtime_cycles, sim.ipc))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,98 @@
+#!/usr/bin/env python
+"""The system-call handling challenge and the SYSSTATE fix (§II-C2).
+
+A file descriptor opened *before* the captured region does not exist
+when the ELFie re-executes the region's ``read()`` — the call fails and
+control flow diverges.  The ``pinball_sysstate`` tool reconstructs the
+file state from the pinball's syscall log; ``pinball2elf`` embeds
+``FD_n`` pre-opens (open + dup2) into the ELFie startup code; running
+the ELFie inside the sysstate working directory then reproduces the
+captured execution.
+
+Run:  python examples/sysstate_file_replay.py
+"""
+
+from repro.core import Pinball2Elf, Pinball2ElfOptions, run_elfie
+from repro.machine.vfs import FileSystem
+from repro.pinplay import RegionSpec, extract_sysstate, log_region, replay
+from repro.workloads import build_executable
+
+PROGRAM = """
+_start:
+    mov rax, 2              ; open("/etc/dataset.bin") BEFORE the region
+    mov rdi, path
+    mov rsi, 0
+    syscall
+    mov r14, rax            ; keep the descriptor
+    mov rcx, 20000
+warmup:
+    sub rcx, 1
+    cmp rcx, 0
+    jnz warmup
+    mov rax, 0              ; read(fd, buf, 16) INSIDE the region
+    mov rdi, r14
+    mov rsi, buf
+    mov rdx, 16
+    syscall
+    mov r13, rax            ; bytes read (16 on success, -EBADF bare)
+    mov rax, 1              ; write(1, buf, 16)
+    mov rdi, 1
+    mov rsi, buf
+    mov rdx, 16
+    syscall
+    mov rax, 231
+    mov rdi, r13
+    and rdi, 0xff
+    syscall
+path:
+    .asciz "/etc/dataset.bin"
+"""
+
+
+def main() -> None:
+    image = build_executable(PROGRAM, data_source="buf:\n.zero 32\n")
+    fs = FileSystem()
+    fs.create("/etc/dataset.bin", b"the-captured-data!")
+
+    print("== capture a region that reads from a pre-opened descriptor")
+    region = RegionSpec(start=10_000, length=80_000, name="fdcase.r0")
+    pinball = log_region(image, region, fs=fs)
+    reads = [r for r in pinball.syscalls if r.number == 0]
+    print("   region performs %d read() syscall(s) on fd %d"
+          % (len(reads), reads[0].args[0]))
+
+    print("== constrained replay: read() is skipped and injected — works")
+    result = replay(pinball)   # note: no filesystem provided at all
+    print("   exit %s, code %d (bytes read: 16)"
+          % (result.status.kind, result.status.code))
+
+    print("== bare ELFie: read() re-executes natively and fails")
+    bare = Pinball2Elf(pinball, Pinball2ElfOptions()).convert()
+    bare_run = run_elfie(bare.image, seed=1)
+    print("   exit %s, code %d, stdout %r"
+          % (bare_run.status.kind, bare_run.status.code,
+             bytes(bare_run.stdout[:18])))
+
+    print("== pinball_sysstate: reconstruct the file state")
+    state = extract_sysstate(pinball)
+    for proxy in state.fd_files:
+        print("   proxy %s (restores fd %d): %r"
+              % (proxy.name, proxy.restore_fd, bytes(proxy.data[:18])))
+    print("   BRK.log: %s" % state.brk_log().replace("\n", "  "))
+
+    print("== sysstate ELFie, run in the sysstate workdir: read() works")
+    sysstate_fs = FileSystem()
+    workdir = state.write_to(sysstate_fs, "/sysstate/workdir")
+    fixed = Pinball2Elf(pinball, Pinball2ElfOptions(
+        sysstate=state)).convert()
+    fixed_run = run_elfie(fixed.image, seed=1, fs=sysstate_fs,
+                          workdir=workdir)
+    print("   exit %s, code %d, stdout %r"
+          % (fixed_run.status.kind, fixed_run.status.code,
+             bytes(fixed_run.stdout[:18])))
+    assert fixed_run.status.code == 16
+    print("   -> identical to the captured execution")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,96 @@
+"""perf-stat-style native measurement on the simulated PMU (§III-B).
+
+``perf stat`` works with ELFies, but needs to avoid measuring the
+startup code and to end gracefully — which is what the pinball2elf
+callbacks provide.  These helpers are the host-side equivalent:
+whole-program counters for any binary, and marker-delimited region
+counters for ELFies.  Because cycles come from the simulated hardware
+timing model, attaching the measurement tool does not perturb the
+numbers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.machine.loader import load_elf
+from repro.machine.machine import Machine
+from repro.machine.vfs import FileSystem
+
+
+@dataclass
+class PerfStats:
+    """A perf-stat summary."""
+
+    instructions: int
+    cycles: int
+    llc_misses: int
+    branches: int
+    exit_kind: str
+
+    @property
+    def cpi(self) -> float:
+        return self.cycles / self.instructions if self.instructions else 0.0
+
+    @property
+    def ipc(self) -> float:
+        return self.instructions / self.cycles if self.cycles else 0.0
+
+    @property
+    def mpki(self) -> float:
+        """LLC misses per kilo-instruction."""
+        if not self.instructions:
+            return 0.0
+        return 1000.0 * self.llc_misses / self.instructions
+
+
+def perf_stat_program(image: bytes, seed: int = 0,
+                      fs: Optional[FileSystem] = None,
+                      max_instructions: Optional[int] = None) -> PerfStats:
+    """Run a binary natively and report whole-run counters."""
+    machine = Machine(seed=seed, fs=fs)
+    load_elf(machine, image)
+    status = machine.run(max_instructions=max_instructions)
+    totals = machine.pmu.totals()
+    return PerfStats(
+        instructions=totals["instructions"],
+        cycles=totals["cycles"],
+        llc_misses=totals["llc_misses"],
+        branches=totals["branches"],
+        exit_kind=status.kind,
+    )
+
+
+def perf_stat_elfie(image: bytes, region_length: int,
+                    warmup: int = 0, seed: int = 0,
+                    fs: Optional[FileSystem] = None,
+                    workdir: str = "/") -> Optional[PerfStats]:
+    """Measure an ELFie's captured region with marker-based gating.
+
+    Counters cover ``region_length`` instructions beginning ``warmup``
+    instructions after the ROI marker.  Returns None when the ELFie
+    fails before completing the measurement window.
+    """
+    from repro.pinplay.regions import RegionSpec
+    from repro.simpoint.validation import measure_elfie_region
+    from repro.core.pinball2elf import ElfieArtifact
+    from repro.elf.structs import ET_EXEC
+
+    artifact = ElfieArtifact(image=image, e_type=ET_EXEC, entry=0,
+                             startup_base=0, plan=None)
+    region = RegionSpec(start=warmup if warmup else 0,
+                        length=region_length,
+                        warmup=warmup, name="perfstat")
+    measurement = measure_elfie_region(artifact, region, seed=seed,
+                                       fs=fs, workdir=workdir)
+    if not measurement.ok:
+        return None
+    cycles = int(round(measurement.cpi * region_length))
+    return PerfStats(
+        instructions=region_length,
+        cycles=cycles,
+        llc_misses=0,
+        branches=0,
+        exit_kind="measured",
+    )

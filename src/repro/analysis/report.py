@@ -1,0 +1,77 @@
+"""Plain-text tables and bar charts for benchmark output.
+
+The benchmark harnesses print the same rows and series the paper's
+tables and figures report; these helpers keep that output readable in a
+terminal and in the captured bench logs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, List, Optional, Sequence, Tuple, Union
+
+Cell = Union[str, int, float]
+
+
+def _render(cell: Cell) -> str:
+    if isinstance(cell, float):
+        return "%.3f" % cell
+    return str(cell)
+
+
+@dataclass
+class Table:
+    """A simple column-aligned table builder."""
+
+    title: str
+    headers: List[str]
+    rows: List[List[str]] = field(default_factory=list)
+
+    def add_row(self, *cells: Cell) -> None:
+        if len(cells) != len(self.headers):
+            raise ValueError(
+                "expected %d cells, got %d" % (len(self.headers), len(cells))
+            )
+        self.rows.append([_render(cell) for cell in cells])
+
+    def render(self) -> str:
+        widths = [len(h) for h in self.headers]
+        for row in self.rows:
+            for index, cell in enumerate(row):
+                widths[index] = max(widths[index], len(cell))
+
+        def line(cells: Sequence[str]) -> str:
+            return "  ".join(cell.ljust(widths[i])
+                             for i, cell in enumerate(cells)).rstrip()
+
+        rule = "-" * (sum(widths) + 2 * (len(widths) - 1))
+        out = [self.title, rule, line(self.headers), rule]
+        out += [line(row) for row in self.rows]
+        out.append(rule)
+        return "\n".join(out)
+
+
+def format_table(title: str, headers: Sequence[str],
+                 rows: Iterable[Sequence[Cell]]) -> str:
+    """One-call table rendering."""
+    table = Table(title=title, headers=list(headers))
+    for row in rows:
+        table.add_row(*row)
+    return table.render()
+
+
+def bar_chart(title: str, entries: Sequence[Tuple[str, float]],
+              width: int = 50, unit: str = "") -> str:
+    """Horizontal ASCII bar chart (the benches' 'figure' output)."""
+    if not entries:
+        return title + "\n(no data)"
+    label_width = max(len(label) for label, _ in entries)
+    peak = max(abs(value) for _, value in entries) or 1.0
+    lines = [title]
+    for label, value in entries:
+        bar = "#" * max(1, int(round(abs(value) / peak * width)))
+        sign = "-" if value < 0 else ""
+        lines.append("%s  %s%s %s%.3f%s"
+                     % (label.ljust(label_width), sign, bar,
+                        sign, abs(value), unit))
+    return "\n".join(lines)

@@ -1,0 +1,31 @@
+"""The paper's primary contribution: pinball -> ELFie conversion.
+
+- :mod:`repro.core.pinball2elf` -- the converter itself (executable and
+  object output, stack-collision handling, context packing),
+- :mod:`repro.core.startup` -- the PX startup-code generator (stack
+  remap, sysstate preopen, clone loop, XRSTOR context restore,
+  per-thread entry stubs),
+- :mod:`repro.core.callbacks` -- the ``libperfle`` callback library
+  (hardware-counter graceful exit, counter printing, monitor thread),
+- :mod:`repro.core.markers` -- ROI marker injection for simulators,
+- :mod:`repro.core.symbols` -- ``.t<N>.<object>`` debug symbols,
+- :mod:`repro.core.elfie` -- the ELFie run harness.
+"""
+
+from repro.core.pinball2elf import Pinball2Elf, Pinball2ElfOptions, ElfieArtifact
+from repro.core.markers import MarkerSpec, marker_tag, decode_marker
+from repro.core.elfie import ElfieRun, run_elfie, prepare_elfie_machine
+from repro.core.callbacks import PERFLE_CALLBACK_TAIL
+
+__all__ = [
+    "Pinball2Elf",
+    "Pinball2ElfOptions",
+    "ElfieArtifact",
+    "MarkerSpec",
+    "marker_tag",
+    "decode_marker",
+    "ElfieRun",
+    "run_elfie",
+    "prepare_elfie_machine",
+    "PERFLE_CALLBACK_TAIL",
+]

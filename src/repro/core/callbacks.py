@@ -1,0 +1,171 @@
+"""The ``libperfle`` callback library, in PX assembly (paper §II-B5, §III-B).
+
+``pinball2elf`` can link user code into an ELFie and call it at three
+points: process start (``-p elfie_on_start``), each thread's start
+(``-t elfie_on_thread_start``), and process exit (``-e
+elfie_on_exit``).  This module provides the stock implementations the
+pinball2elf distribution ships for the common use cases:
+
+- a thread-start callback that programs a hardware performance counter
+  to count retired instructions and deliver an overflow callback at the
+  region's recorded instruction count — the graceful-exit mechanism,
+- an overflow handler that prints the final counter values to stderr
+  and exits the thread,
+- a decimal-printing routine (``__perfle_print_u64``) because there is
+  no libc inside an ELFie,
+- default no-op callbacks for the hooks the user did not implement.
+
+ABI: callbacks follow the platform convention — arguments in rdi/rsi,
+r11 caller-clobbered, return with ``ret``.
+"""
+
+from __future__ import annotations
+
+#: Instructions the perfle thread-start callback retires *after* its
+#: arming syscall returns (just the ``ret``).  pinball2elf adds this to
+#: the counter threshold so the trap fires exactly at the end of the
+#: captured region's instructions.
+PERFLE_CALLBACK_TAIL = 1
+
+#: PMU event codes (must match repro.machine.kernel PERF_COUNT_*).
+_EV_INSTRUCTIONS = 0
+_EV_CYCLES = 1
+
+
+def perfle_thread_start_source() -> str:
+    """``elfie_on_thread_start``: arm the graceful-exit counter.
+
+    Called with rdi = retired-instruction budget (already adjusted for
+    startup tail instructions) and rsi = thread index.  A zero budget
+    means "no exit arming" (used when a simulator ends the run instead).
+    """
+    return """
+elfie_on_thread_start:
+    cmp rdi, 0
+    jz __perfle_no_arm
+    mov rsi, rdi                ; threshold
+    mov rdi, %d                 ; event: instructions retired
+    mov rdx, __perfle_exit_handler
+    mov rax, 298                ; perf_event_open
+    syscall
+__perfle_no_arm:
+    ret
+""" % _EV_INSTRUCTIONS
+
+
+def perfle_exit_handler_source(notify_monitor: bool) -> str:
+    """The counter-overflow handler: report counters, exit the thread.
+
+    Prints two decimal lines to stderr — instructions retired and
+    cycles — then (optionally) bumps the monitor flag and exits.
+    """
+    notify = ""
+    if notify_monitor:
+        notify = """
+    mov rdx, __elfie_exit_flag
+    mov rbx, 1
+    xadd [rdx], rbx
+"""
+    return """
+__perfle_exit_handler:
+    mov rax, 334                ; perf_read(instructions)
+    mov rdi, %d
+    syscall
+    mov rdi, rax
+    call __perfle_print_u64
+    mov rax, 334                ; perf_read(cycles)
+    mov rdi, %d
+    syscall
+    mov rdi, rax
+    call __perfle_print_u64
+%s
+    mov rax, 60                 ; exit(0): graceful thread exit
+    mov rdi, 0
+    syscall
+""" % (_EV_INSTRUCTIONS, _EV_CYCLES, notify)
+
+
+def print_u64_source() -> str:
+    """``__perfle_print_u64``: write rdi as decimal + newline to stderr.
+
+    Builds the digit string backwards in a static buffer.  The buffer
+    is shared, so concurrent prints from multiple threads can interleave
+    — the same caveat the real libperfle has; harnesses that need exact
+    per-thread numbers read the PMU host-side instead.
+    """
+    return """
+__perfle_print_u64:
+    mov r8, __perfle_buf_end
+    mov r9, 10
+__perfle_digit:
+    mov rdx, rdi
+    mod rdx, r9
+    add rdx, 48
+    sub r8, 1
+    st1 [r8], rdx
+    div rdi, r9
+    cmp rdi, 0
+    jnz __perfle_digit
+    mov rdx, __perfle_buf_end
+    sub rdx, r8
+    mov rsi, r8
+    mov rdi, 2
+    mov rax, 1                  ; write(2, digits, len)
+    syscall
+    mov rax, 1                  ; write(2, "\\n", 1)
+    mov rdi, 2
+    mov rsi, __perfle_nl
+    mov rdx, 1
+    syscall
+    ret
+"""
+
+
+def print_data_source() -> str:
+    """Data used by the printing routine."""
+    return """
+__perfle_buf:
+    .zero 24
+__perfle_buf_end:
+    .byte 0
+__perfle_nl:
+    .ascii "\\n"
+"""
+
+
+def default_on_start_source() -> str:
+    """A no-op ``elfie_on_start`` for when the user supplies none."""
+    return "elfie_on_start:\n    ret\n"
+
+
+def default_on_exit_source() -> str:
+    """Default ``elfie_on_exit``: nothing to report."""
+    return "elfie_on_exit:\n    ret\n"
+
+
+def monitor_source() -> str:
+    """The monitor-thread body (paper's ``-e`` switch).
+
+    The monitor spins (active wait) on ``__elfie_exit_flag``, which the
+    perfle exit handler bumps when an application thread finishes, then
+    calls ``elfie_on_exit`` and terminates the process.
+    """
+    return """
+__elfie_monitor:
+    mov rdx, __elfie_exit_flag
+__elfie_monitor_wait:
+    ld rax, [rdx]
+    cmp rax, 1
+    jae __elfie_monitor_done
+    pause
+    jmp __elfie_monitor_wait
+__elfie_monitor_done:
+    call elfie_on_exit
+    mov rax, 231                ; exit_group(0)
+    mov rdi, 0
+    syscall
+"""
+
+
+def monitor_data_source() -> str:
+    return "__elfie_exit_flag:\n    .quad 0\n"

@@ -1,0 +1,192 @@
+"""Command-line front-end for the tool-chain.
+
+Mirrors the pinball2elf distribution's command-line surface so shell
+workflows read like the paper's:
+
+    python -m repro.core.cli pinball2elf --pinball DIR/NAME --out x.elfie \\
+        --roi-start sniper:0x42 --perf-exit
+    python -m repro.core.cli pinball2elf --pinball DIR/NAME --object
+    python -m repro.core.cli sysstate   --pinball DIR/NAME --out-dir SYS
+    python -m repro.core.cli replay     --pinball DIR/NAME [--injection 0]
+    python -m repro.core.cli logger     --binary prog.elf --start N \\
+        --length M [--warmup W] [--fat/--no-fat] --out DIR --name NAME
+
+Binaries are PX ELF executables (build them with
+``repro.workloads.build_executable`` or the assembler).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional
+
+from repro.core.markers import MarkerSpec
+from repro.core.pinball2elf import Pinball2Elf, Pinball2ElfOptions
+from repro.core.elfie import run_elfie
+from repro.pinplay.logger import LogOptions, log_region
+from repro.pinplay.pinball import Pinball
+from repro.pinplay.regions import RegionSpec
+from repro.pinplay.replayer import replay
+from repro.pinplay.sysstate import extract_sysstate
+
+
+def _load_pinball(spec: str) -> Pinball:
+    """Load DIR/NAME (the pinball file prefix, as in PinPlay)."""
+    if "/" in spec:
+        directory, _, name = spec.rpartition("/")
+    else:
+        directory, name = ".", spec
+    return Pinball.load(directory, name)
+
+
+def _cmd_pinball2elf(args: argparse.Namespace) -> int:
+    pinball = _load_pinball(args.pinball)
+    options = Pinball2ElfOptions(
+        output="object" if args.object else "executable",
+        marker=MarkerSpec.parse(args.roi_start) if args.roi_start else None,
+        perf_exit=args.perf_exit,
+        monitor=args.monitor,
+        dump_contexts=args.dump_contexts,
+        stack_fix=not args.no_stack_fix,
+        sysstate=extract_sysstate(pinball) if args.sysstate else None,
+    )
+    artifact = Pinball2Elf(pinball, options).convert()
+    artifact.save(args.out)
+    print("wrote %s (%d bytes, entry 0x%x)"
+          % (args.out, len(artifact.image), artifact.entry))
+    if artifact.linker_script is not None:
+        print("wrote %s.lds" % args.out)
+    if artifact.context_listing is not None:
+        print("wrote %s.ctx.s" % args.out)
+    return 0
+
+
+def _cmd_sysstate(args: argparse.Namespace) -> int:
+    pinball = _load_pinball(args.pinball)
+    state = extract_sysstate(pinball)
+    report = {
+        "pinball": pinball.name,
+        "fd_files": [
+            {"name": proxy.name, "fd": proxy.restore_fd,
+             "bytes": len(proxy.data)}
+            for proxy in state.fd_files
+        ],
+        "named_files": [
+            {"name": proxy.name, "bytes": len(proxy.data)}
+            for proxy in state.named_files
+        ],
+        "first_brk": "0x%x" % state.first_brk,
+        "last_brk": "0x%x" % state.last_brk,
+    }
+    print(json.dumps(report, indent=2))
+    return 0
+
+
+def _cmd_replay(args: argparse.Namespace) -> int:
+    pinball = _load_pinball(args.pinball)
+    result = replay(pinball, injection=bool(args.injection))
+    print("status: %s %s" % (result.status.kind, result.status.detail))
+    print("instructions: %d (recorded %d)"
+          % (result.total_icount, pinball.region_icount))
+    if args.injection:
+        print("injected syscalls: %d" % result.injected_syscalls)
+        print("matches recording: %s" % result.matches_recording)
+        if result.diverged:
+            print("divergence: %s" % result.diverged)
+            return 1
+    return 0 if result.status.kind in ("exit", "stopped") else 1
+
+
+def _cmd_logger(args: argparse.Namespace) -> int:
+    with open(args.binary, "rb") as handle:
+        image = handle.read()
+    region = RegionSpec(start=args.start, length=args.length,
+                        warmup=args.warmup, name=args.name)
+    pinball = log_region(image, region,
+                         LogOptions(name=args.name, fat=args.fat))
+    prefix = pinball.save(args.out)
+    print("wrote pinball %s.* (%d pages, %d threads, %d instructions)"
+          % (prefix, len(pinball.pages), pinball.num_threads,
+             pinball.region_icount))
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    with open(args.elfie, "rb") as handle:
+        image = handle.read()
+    run = run_elfie(image, seed=args.seed)
+    print("status: %s %s" % (run.status.kind, run.status.detail))
+    if run.stderr:
+        sys.stderr.write(run.stderr.decode("ascii", "replace"))
+    if run.stdout:
+        sys.stdout.write(run.stdout.decode("ascii", "replace"))
+    if run.app_icounts:
+        print("application instructions: %s" % run.app_icounts)
+    return run.status.code if run.status.kind == "exit" else 128
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro.core.cli",
+        description="pinball2elf tool-chain command line",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p2e = sub.add_parser("pinball2elf", help="convert a pinball to an ELFie")
+    p2e.add_argument("--pinball", required=True, help="DIR/NAME prefix")
+    p2e.add_argument("--out", required=True, help="output file")
+    p2e.add_argument("--object", action="store_true",
+                     help="emit a relocatable object + linker script")
+    p2e.add_argument("--roi-start", metavar="[TYPE:]TAG",
+                     help="insert a ROI marker (sniper|ssc|simics)")
+    p2e.add_argument("--perf-exit", action="store_true",
+                     help="arm graceful-exit hardware counters (-t/-p)")
+    p2e.add_argument("--monitor", action="store_true",
+                     help="create a monitor thread (-e elfie_on_exit)")
+    p2e.add_argument("--sysstate", action="store_true",
+                     help="embed FD_n preopens and brk restore")
+    p2e.add_argument("--dump-contexts", action="store_true",
+                     help="also write a .ctx.s context listing")
+    p2e.add_argument("--no-stack-fix", action="store_true",
+                     help="ablation: allocatable stack sections (Fig. 4)")
+    p2e.set_defaults(func=_cmd_pinball2elf)
+
+    sysstate = sub.add_parser("sysstate",
+                              help="pinball_sysstate analysis report")
+    sysstate.add_argument("--pinball", required=True)
+    sysstate.set_defaults(func=_cmd_sysstate)
+
+    rep = sub.add_parser("replay", help="replay a pinball")
+    rep.add_argument("--pinball", required=True)
+    rep.add_argument("--injection", type=int, default=1,
+                     help="0 mimics an ELFie run (-replay:injection 0)")
+    rep.set_defaults(func=_cmd_replay)
+
+    logger = sub.add_parser("logger", help="capture a region as a pinball")
+    logger.add_argument("--binary", required=True, help="PX ELF executable")
+    logger.add_argument("--start", type=int, required=True)
+    logger.add_argument("--length", type=int, required=True)
+    logger.add_argument("--warmup", type=int, default=0)
+    logger.add_argument("--name", default="pinball")
+    logger.add_argument("--out", default=".")
+    logger.add_argument("--fat", action="store_true", default=True)
+    logger.add_argument("--no-fat", dest="fat", action="store_false")
+    logger.set_defaults(func=_cmd_logger)
+
+    runner = sub.add_parser("run", help="run an ELFie natively")
+    runner.add_argument("elfie")
+    runner.add_argument("--seed", type=int, default=0)
+    runner.set_defaults(func=_cmd_run)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,147 @@
+"""ELFie run harness: load and execute ELFies natively (§II-C).
+
+An ELFie is just a program binary — running one means loading it with
+the system ELF loader into a fresh machine and letting it free-run.
+The harness adds the conveniences the paper's workflows need:
+
+- a sysstate working directory (chroot-style root) so the region's
+  file system calls find their proxy files,
+- per-thread *application* instruction counts, measured from each
+  thread's ROI entry (the point where startup code jumps into captured
+  code, identified by the thread's first retirement of its ``.tN.start``
+  address or of the ROI marker),
+- capture of the perfle counter output on stderr.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.machine.loader import LoadedImage, LoaderError, load_elf
+from repro.machine.machine import ExitStatus, Machine
+from repro.machine.tool import Tool
+from repro.machine.vfs import FileSystem
+from repro.isa.instructions import Op
+
+
+class _RoiWatcher(Tool):
+    """Records each thread's icount when it enters application code."""
+
+    wants_instructions = True
+
+    def __init__(self, roi_rips: Dict[int, int]) -> None:
+        #: rip -> expected; any thread retiring a MARKER or one of the
+        #: captured start addresses is considered to have entered its ROI.
+        self.roi_rips = set(roi_rips.values()) if roi_rips else set()
+        self.entry_icount: Dict[int, int] = {}
+
+    def on_instruction(self, machine, thread, pc, insn) -> None:
+        if thread.tid in self.entry_icount:
+            return
+        if insn.op == Op.MARKER or pc in self.roi_rips:
+            self.entry_icount[thread.tid] = thread.icount
+
+
+@dataclass
+class ElfieRun:
+    """Result of one ELFie execution."""
+
+    machine: Machine
+    status: ExitStatus
+    loaded: Optional[LoadedImage]
+    #: tid -> instructions retired after entering application code.
+    app_icounts: Dict[int, int] = field(default_factory=dict)
+    #: tid -> icount at ROI entry (startup instructions).
+    startup_icounts: Dict[int, int] = field(default_factory=dict)
+    stderr: bytes = b""
+    stdout: bytes = b""
+    loader_error: Optional[str] = None
+
+    @property
+    def graceful(self) -> bool:
+        return self.status.kind == "exit"
+
+    @property
+    def total_app_icount(self) -> int:
+        return sum(self.app_icounts.values())
+
+    def perfle_counters(self) -> List[int]:
+        """Counter values printed by the perfle exit handler."""
+        values = []
+        for line in self.stderr.decode("ascii", "replace").splitlines():
+            line = line.strip()
+            if line.isdigit():
+                values.append(int(line))
+        return values
+
+
+def prepare_elfie_machine(image: bytes, seed: int = 0,
+                          fs: Optional[FileSystem] = None,
+                          workdir: str = "/",
+                          stack_seed: Optional[int] = None,
+                          ) -> Tuple[Machine, LoadedImage]:
+    """Load an ELFie into a fresh machine without running it.
+
+    Simulators use this to take over execution themselves.  Raises
+    :class:`LoaderError` (e.g. :class:`StackCollisionError`) like the
+    system loader would.
+    """
+    machine = Machine(seed=seed, fs=fs, root=workdir)
+    loaded = load_elf(machine, image, argv=["elfie"], stack_seed=stack_seed)
+    return machine, loaded
+
+
+def run_elfie(image: bytes, seed: int = 0,
+              fs: Optional[FileSystem] = None,
+              workdir: str = "/",
+              max_instructions: Optional[int] = None,
+              stack_seed: Optional[int] = None,
+              track_roi: bool = True) -> ElfieRun:
+    """Execute an ELFie natively and report what happened.
+
+    A loader failure (stack collision) is reported as a run whose
+    ``loader_error`` is set and whose status is a SIGKILL-style signal —
+    the process died before any ELFie code executed (paper Fig. 4).
+    """
+    try:
+        machine, loaded = prepare_elfie_machine(
+            image, seed=seed, fs=fs, workdir=workdir, stack_seed=stack_seed)
+    except LoaderError as exc:
+        dead = Machine(seed=seed)
+        return ElfieRun(
+            machine=dead,
+            status=ExitStatus(kind="signal", signal=9,
+                              detail="killed during load: %s" % exc),
+            loaded=None,
+            loader_error=str(exc),
+        )
+
+    watcher: Optional[_RoiWatcher] = None
+    if track_roi:
+        roi_rips = {}
+        for name, value in loaded.symbols.items():
+            if name.startswith(".t") and name.endswith(".start"):
+                roi_rips[name] = value
+        watcher = _RoiWatcher(roi_rips)
+        machine.attach(watcher)
+
+    status = machine.run(max_instructions=max_instructions)
+
+    app_icounts: Dict[int, int] = {}
+    startup_icounts: Dict[int, int] = {}
+    if watcher is not None:
+        machine.detach(watcher)
+        for tid, entry in watcher.entry_icount.items():
+            thread = machine.threads[tid]
+            startup_icounts[tid] = entry
+            app_icounts[tid] = thread.icount - entry
+    return ElfieRun(
+        machine=machine,
+        status=status,
+        loaded=loaded,
+        app_icounts=app_icounts,
+        startup_icounts=startup_icounts,
+        stderr=machine.stderr(),
+        stdout=machine.stdout(),
+    )

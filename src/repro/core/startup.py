@@ -1,0 +1,336 @@
+"""ELFie startup-code generation (paper §II-B3/4, Figs. 5-7).
+
+The startup code is real PX assembly, executed by the ELFie before any
+application code:
+
+1. **Stack remap** (Fig. 5): immediately switch off the loader-provided
+   stack onto a scratch stack, ``mmap`` the parent pinball's stack range
+   (whose sections are non-allocatable in the ELF, so the loader never
+   mapped them), and copy the captured stack bytes from an allocatable
+   staging area.
+2. **Sysstate restore** (§II-C2): ``prctl(PR_SET_MM)`` the heap break
+   back to the captured layout and pre-open every ``FD_n`` proxy file,
+   ``dup2``-ing it onto the original descriptor number.
+3. **Callbacks**: optional ``elfie_on_start`` before anything else runs
+   application code.
+4. **Thread creation** (Fig. 6): a clone loop starts one thread per
+   captured thread; each runs its per-thread init function: optional
+   ``elfie_on_thread_start`` (on a private callback stack), ``XRSTOR``
+   of the extended state, restore of FS/GS bases and RFLAGS, fifteen
+   ``pop``s for the GPRs, the optional ROI marker, then a
+   register-free ``mov rsp, <captured rsp>; jmpabs <captured rip>``
+   into the application code.
+
+The generator reports, per thread, how many instructions execute between
+the graceful-exit counter arming and the jump into application code, so
+``pinball2elf`` can adjust the counter threshold to stop the ELFie at
+exactly the captured region length.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.isa.assembler import Assembler
+from repro.isa.registers import GPR_NAMES, RegisterFile, XSAVE_AREA_SIZE
+from repro.machine.memory import PAGE_SIZE
+from repro.core.callbacks import (
+    PERFLE_CALLBACK_TAIL,
+    default_on_exit_source,
+    default_on_start_source,
+    monitor_data_source,
+    monitor_source,
+    perfle_exit_handler_source,
+    perfle_thread_start_source,
+    print_data_source,
+    print_u64_source,
+)
+from repro.core.markers import MarkerSpec
+from repro.pinplay.pinball import Pinball
+from repro.pinplay.sysstate import SysState
+
+#: GPR restore order (hardware indices): rax rcx rdx rbx rbp rsi rdi
+#: r8..r15 — everything except rsp, which the thread-entry stub sets.
+POP_ORDER: Tuple[int, ...] = (0, 1, 2, 3, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15)
+
+#: Context block layout (one per thread, in the startup data area):
+#: [xsave area][fs][gs][rflags][15 GPRs in POP_ORDER], padded to 320.
+CTX_POP_OFFSET = XSAVE_AREA_SIZE
+CTX_SIZE = 320
+
+#: Callback scratch-stack bytes per thread.
+CALLBACK_STACK_BYTES = 2048
+
+PR_SET_MM = 35
+PR_SET_MM_START_BRK = 6
+PR_SET_MM_BRK = 7
+
+
+def pack_context(regs: RegisterFile) -> bytes:
+    """Serialize one thread's context block (without rsp/rip)."""
+    parts = [regs.xsave_bytes()]
+    parts.append(struct.pack("<Q", regs.fs_base))
+    parts.append(struct.pack("<Q", regs.gs_base))
+    parts.append(struct.pack("<Q", regs.flags.to_word()))
+    for index in POP_ORDER:
+        parts.append(struct.pack("<Q", regs.gpr[index]))
+    blob = b"".join(parts)
+    return blob + b"\x00" * (CTX_SIZE - len(blob))
+
+
+@dataclass
+class StartupPlan:
+    """What the generator decided, for symbols and threshold math."""
+
+    #: Instructions retired by thread i between the return of
+    #: elfie_on_thread_start and the jmpabs into application code
+    #: (inclusive of the jmpabs).
+    tail_instructions: Dict[int, int] = field(default_factory=dict)
+    #: Labels whose addresses become ELF symbols after assembly.
+    symbol_labels: List[str] = field(default_factory=list)
+    #: (symbol name, context label, byte offset) records for .tN.* syms.
+    context_symbols: List[Tuple[str, str, int]] = field(default_factory=list)
+
+
+class StartupGenerator:
+    """Emits the full startup blob into an :class:`Assembler`."""
+
+    def __init__(self, pinball: Pinball,
+                 marker: Optional[MarkerSpec] = None,
+                 perf_exit: bool = False,
+                 with_monitor: bool = False,
+                 sysstate: Optional[SysState] = None,
+                 user_code: Optional[str] = None,
+                 user_defines: Tuple[str, ...] = (),
+                 remap_stack: bool = True) -> None:
+        self.remap_stack = remap_stack
+        self.pinball = pinball
+        self.marker = marker
+        self.perf_exit = perf_exit
+        self.with_monitor = with_monitor
+        self.sysstate = sysstate
+        self.user_code = user_code
+        self.user_defines = set(user_defines)
+        self.plan = StartupPlan()
+
+    # -- helpers -----------------------------------------------------------
+
+    def _stack_runs(self) -> List[Tuple[int, int]]:
+        """(start, length) of the pinball's stack page runs (empty when
+        the stack was not captured — lazy pinballs — or when the
+        stack-collision fix is disabled)."""
+        if not self.remap_stack:
+            return []
+        stack = self.pinball.try_stack_range()
+        if stack is None:
+            return []
+        start, end = stack
+        return [(start, end - start)]
+
+    def _thread_records(self):
+        return sorted(self.pinball.threads, key=lambda r: r.tid)
+
+    # -- emission ------------------------------------------------------------
+
+    def emit(self, asm: Assembler) -> StartupPlan:
+        """Emit startup code and data; returns the plan."""
+        self._emit_entry(asm)
+        self._emit_thread_inits(asm)
+        self._emit_callbacks(asm)
+        self._emit_data(asm)
+        return self.plan
+
+    def _emit_entry(self, asm: Assembler) -> None:
+        lines: List[str] = ["_elfie_start:"]
+        lines.append("    mov rsp, __elfie_scratch_top")
+        # 1. stack remap (Fig. 5)
+        for index, (start, length) in enumerate(self._stack_runs()):
+            lines.append(f"""
+    mov rax, 9                  ; mmap(stack, len, RW, FIXED|PRIV|ANON)
+    mov rdi, 0x{start:x}
+    mov rsi, {length}
+    mov rdx, 3
+    mov r10, 0x32
+    mov r8, -1
+    mov r9, 0
+    syscall
+    mov rsi, __elfie_staging_{index}
+    mov rdi, 0x{start:x}
+    mov rcx, {length // 8}
+__elfie_copy_{index}:
+    ld rbx, [rsi]
+    st [rdi], rbx
+    add rsi, 8
+    add rdi, 8
+    sub rcx, 1
+    cmp rcx, 0
+    jnz __elfie_copy_{index}
+""")
+        # 2. sysstate restore
+        if self.sysstate is not None:
+            brk_start = self.pinball.brk_start
+            first_brk = self.sysstate.first_brk
+            lines.append(f"""
+    mov rax, 157                ; prctl(PR_SET_MM, START_BRK, ...)
+    mov rdi, {PR_SET_MM}
+    mov rsi, {PR_SET_MM_START_BRK}
+    mov rdx, 0x{brk_start:x}
+    syscall
+    mov rax, 157                ; prctl(PR_SET_MM, BRK, ...)
+    mov rdi, {PR_SET_MM}
+    mov rsi, {PR_SET_MM_BRK}
+    mov rdx, 0x{first_brk:x}
+    syscall
+""")
+            for index, proxy in enumerate(self.sysstate.fd_files):
+                lines.append(f"""
+    mov rax, 2                  ; open("{proxy.name}", O_RDONLY)
+    mov rdi, __elfie_fdpath_{index}
+    mov rsi, 0
+    syscall
+    mov rdi, rax
+    mov rax, 33                 ; dup2(fd, {proxy.restore_fd})
+    mov rsi, {proxy.restore_fd}
+    syscall
+""")
+        # 3. process-level callback
+        lines.append("    call elfie_on_start")
+        # 4. thread creation
+        records = self._thread_records()
+        first = 0 if self.with_monitor else 1
+        for position in range(first, len(records)):
+            lines.append(f"""
+    mov rax, 56                 ; clone(CLONE_VM, cbstack, init_{position})
+    mov rdi, 0x100
+    mov rsi, __elfie_cbstack_{position}_top
+    mov rdx, __elfie_thread_init_{position}
+    syscall
+""")
+        if self.with_monitor:
+            lines.append("    jmp __elfie_monitor")
+        else:
+            lines.append("    jmp __elfie_thread_init_0")
+        asm.add("\n".join(lines))
+        self.plan.symbol_labels.append("_elfie_start")
+
+    def _thread_tail_lines(self, position: int, record) -> List[str]:
+        """Instructions from context restore to the application jump.
+
+        Every entry is exactly one retired instruction (no assembler
+        macro expansion), so ``len()`` is the retired-instruction tail
+        used for graceful-exit threshold adjustment.
+        """
+        lines = [
+            f"    mov r11, __elfie_ctx_{position}",
+            "    xrstor [r11]",
+            f"    mov rsp, __elfie_ctx_{position}+{CTX_POP_OFFSET}",
+            "    pop rax",
+            "    wrfsbase rax",
+            "    pop rax",
+            "    wrgsbase rax",
+            "    popf",
+        ]
+        lines += ["    pop %s" % GPR_NAMES[i] for i in POP_ORDER]
+        if self.marker is not None:
+            lines.append("    " + self.marker.assembly())
+        lines.append(f"    mov rsp, 0x{record.regs.rsp:x}")
+        lines.append(f"    jmpabs 0x{record.regs.rip:x}")
+        return lines
+
+    def _emit_thread_inits(self, asm: Assembler) -> None:
+        records = self._thread_records()
+        want_thread_cb = self.perf_exit or "elfie_on_thread_start" in self.user_defines
+        for position, record in enumerate(records):
+            tail = self._thread_tail_lines(position, record)
+            lines = [f"__elfie_thread_init_{position}:"]
+            if want_thread_cb:
+                budget = 0
+                if self.perf_exit:
+                    budget = (record.region_icount + len(tail)
+                              + PERFLE_CALLBACK_TAIL)
+                lines.append(f"    mov rsp, __elfie_cbstack_{position}_top")
+                lines.append(f"    mov rdi, {budget}")
+                lines.append(f"    mov rsi, {position}")
+                lines.append("    call elfie_on_thread_start")
+            lines += tail
+            asm.add("\n".join(lines))
+            self.plan.tail_instructions[record.tid] = len(tail)
+            self.plan.symbol_labels.append(f"__elfie_thread_init_{position}")
+
+    def _emit_callbacks(self, asm: Assembler) -> None:
+        if self.user_code:
+            asm.add(self.user_code)
+        if self.perf_exit:
+            if "elfie_on_thread_start" not in self.user_defines:
+                asm.add(perfle_thread_start_source())
+            asm.add(perfle_exit_handler_source(notify_monitor=self.with_monitor))
+            asm.add(print_u64_source())
+        if "elfie_on_start" not in self.user_defines:
+            asm.add(default_on_start_source())
+        if self.with_monitor:
+            asm.add(monitor_source())
+            if "elfie_on_exit" not in self.user_defines:
+                asm.add(default_on_exit_source())
+        for label in ("elfie_on_start",):
+            self.plan.symbol_labels.append(label)
+        if self.perf_exit or "elfie_on_thread_start" in self.user_defines:
+            self.plan.symbol_labels.append("elfie_on_thread_start")
+
+    def _emit_data(self, asm: Assembler) -> None:
+        # scratch stack for the entry code
+        asm.add(".align 16")
+        asm.emit_bytes(b"\x00" * 4096)
+        asm.define_label("__elfie_scratch_top")
+        asm.emit_bytes(b"\x00" * 16)
+        # per-thread callback stacks
+        records = self._thread_records()
+        for position in range(len(records)):
+            asm.emit_bytes(b"\x00" * CALLBACK_STACK_BYTES)
+            asm.define_label(f"__elfie_cbstack_{position}_top")
+            asm.emit_bytes(b"\x00" * 16)
+        # per-thread context blocks
+        asm.add(".align 64")
+        for position, record in enumerate(records):
+            asm.define_label(f"__elfie_ctx_{position}")
+            asm.emit_bytes(pack_context(record.regs))
+            self._note_context_symbols(position, record)
+        # stack staging copies
+        for index, (start, length) in enumerate(self._stack_runs()):
+            asm.add(".align 8")
+            asm.define_label(f"__elfie_staging_{index}")
+            asm.emit_bytes(self._stack_bytes(start, length))
+        # sysstate FD path strings
+        if self.sysstate is not None:
+            for index, proxy in enumerate(self.sysstate.fd_files):
+                asm.define_label(f"__elfie_fdpath_{index}")
+                asm.emit_bytes(proxy.name.encode("utf-8") + b"\x00")
+        # perfle / monitor data
+        if self.perf_exit:
+            asm.add(print_data_source())
+        if self.with_monitor:
+            asm.add(monitor_data_source())
+
+    def _note_context_symbols(self, position: int, record) -> None:
+        ctx = f"__elfie_ctx_{position}"
+        sym = self.plan.context_symbols
+        sym.append((f".t{position}.ext_area", ctx, 0))
+        sym.append((f".t{position}.fs_base", ctx, CTX_POP_OFFSET))
+        sym.append((f".t{position}.gs_base", ctx, CTX_POP_OFFSET + 8))
+        sym.append((f".t{position}.rflags", ctx, CTX_POP_OFFSET + 16))
+        for slot, index in enumerate(POP_ORDER):
+            sym.append((
+                f".t{position}.{GPR_NAMES[index]}",
+                ctx,
+                CTX_POP_OFFSET + 24 + slot * 8,
+            ))
+
+    def _stack_bytes(self, start: int, length: int) -> bytes:
+        out = bytearray()
+        addr = start
+        while addr < start + length:
+            prot, data = self.pinball.pages[addr]
+            out += data
+            addr += PAGE_SIZE
+        return bytes(out)

@@ -1,0 +1,45 @@
+"""Debug-symbol generation for ELFies (paper §II-B5, "Debugging ELFies").
+
+``pinball2elf`` inserts symbols for all startup-code functions, for the
+elements of each thread's initial state in the ``.t<N>.<object>``
+format (e.g. ``.t0.rax``, ``.t0.ext_area``), and for the start of each
+thread (``.t<N>.start``), so hex-level debugging of an ELFie has
+anchors even though application-level symbolic debugging is not
+supported.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.core.startup import StartupPlan
+from repro.elf.structs import STT_FUNC, STT_OBJECT
+from repro.elf.writer import ElfBuilder
+from repro.pinplay.pinball import Pinball
+
+
+def add_elfie_symbols(builder: ElfBuilder, pinball: Pinball,
+                      plan: StartupPlan,
+                      labels: Dict[str, int]) -> List[Tuple[str, int]]:
+    """Add pinball2elf's standard symbols to *builder*.
+
+    *labels* maps assembler labels in the startup blob to absolute
+    addresses.  Returns the (name, value) pairs added, for listings.
+    """
+    added: List[Tuple[str, int]] = []
+
+    def add(name: str, value: int, sym_type: int = STT_OBJECT) -> None:
+        builder.add_symbol(name, value, sym_type=sym_type)
+        added.append((name, value))
+
+    for label in plan.symbol_labels:
+        if label in labels:
+            add(label, labels[label], sym_type=STT_FUNC)
+    for name, ctx_label, offset in plan.context_symbols:
+        if ctx_label in labels:
+            add(name, labels[ctx_label] + offset)
+    for position, record in enumerate(sorted(pinball.threads,
+                                             key=lambda r: r.tid)):
+        add(".t%d.start" % position, record.regs.rip, sym_type=STT_FUNC)
+        add(".t%d.rsp_target" % position, record.regs.rsp)
+    return added

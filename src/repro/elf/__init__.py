@@ -1,0 +1,60 @@
+"""ELF64 object-format library.
+
+A self-contained reader/writer for the Executable and Linkable Format,
+sufficient to build the statically linked executables and relocatable
+objects that ``pinball2elf`` emits.  The files produced are structurally
+valid ELF64 (magic, headers, section/program header tables, symbol and
+string tables); ``e_machine`` carries the PX architecture value since
+the code sections contain PX instructions.
+"""
+
+from repro.elf.structs import (
+    EM_PX,
+    ET_EXEC,
+    ET_REL,
+    PF_R,
+    PF_W,
+    PF_X,
+    PT_LOAD,
+    SHF_ALLOC,
+    SHF_EXECINSTR,
+    SHF_WRITE,
+    SHT_NOBITS,
+    SHT_PROGBITS,
+    SHT_STRTAB,
+    SHT_SYMTAB,
+    ElfHeader,
+    ProgramHeader,
+    SectionHeader,
+    Symbol,
+)
+from repro.elf.writer import ElfBuilder, Section
+from repro.elf.reader import ElfFile, ElfFormatError
+from repro.elf.linkscript import LinkerScript, LinkerRegion
+
+__all__ = [
+    "EM_PX",
+    "ET_EXEC",
+    "ET_REL",
+    "PF_R",
+    "PF_W",
+    "PF_X",
+    "PT_LOAD",
+    "SHF_ALLOC",
+    "SHF_EXECINSTR",
+    "SHF_WRITE",
+    "SHT_NOBITS",
+    "SHT_PROGBITS",
+    "SHT_STRTAB",
+    "SHT_SYMTAB",
+    "ElfHeader",
+    "ProgramHeader",
+    "SectionHeader",
+    "Symbol",
+    "ElfBuilder",
+    "Section",
+    "ElfFile",
+    "ElfFormatError",
+    "LinkerScript",
+    "LinkerRegion",
+]

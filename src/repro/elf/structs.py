@@ -1,0 +1,290 @@
+"""ELF64 data structures and constants (TIS ELF specification v1.2).
+
+Only the fields and constants this project uses are defined, but the
+binary layouts are the real ones: an ELFie built by this library has a
+well-formed 64-byte ELF header, 56-byte program headers, 64-byte section
+headers, and 24-byte symbol records.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass, field
+from typing import List
+
+# e_ident layout.
+ELF_MAGIC = b"\x7fELF"
+ELFCLASS64 = 2
+ELFDATA2LSB = 1
+EV_CURRENT = 1
+
+# e_type values.
+ET_REL = 1
+ET_EXEC = 2
+
+#: Fictional machine value for the PX architecture ("PX" little-endian).
+EM_PX = 0x5850
+
+# Program header types and flags.
+PT_NULL = 0
+PT_LOAD = 1
+PF_X = 1
+PF_W = 2
+PF_R = 4
+
+# Section header types.
+SHT_NULL = 0
+SHT_PROGBITS = 1
+SHT_SYMTAB = 2
+SHT_STRTAB = 3
+SHT_NOBITS = 8
+
+# Section header flags.
+SHF_WRITE = 0x1
+SHF_ALLOC = 0x2
+SHF_EXECINSTR = 0x4
+
+# Symbol binding/type helpers.
+STB_LOCAL = 0
+STB_GLOBAL = 1
+STT_NOTYPE = 0
+STT_OBJECT = 1
+STT_FUNC = 2
+SHN_UNDEF = 0
+SHN_ABS = 0xFFF1
+
+EHDR_SIZE = 64
+PHDR_SIZE = 56
+SHDR_SIZE = 64
+SYM_SIZE = 24
+
+_EHDR_FMT = "<16sHHIQQQIHHHHHH"
+_PHDR_FMT = "<IIQQQQQQ"
+_SHDR_FMT = "<IIQQQQIIQQ"
+_SYM_FMT = "<IBBHQQ"
+
+
+@dataclass
+class ElfHeader:
+    """The ELF file header (Ehdr)."""
+
+    e_type: int = ET_EXEC
+    e_machine: int = EM_PX
+    e_entry: int = 0
+    e_phoff: int = 0
+    e_shoff: int = 0
+    e_flags: int = 0
+    e_phnum: int = 0
+    e_shnum: int = 0
+    e_shstrndx: int = 0
+
+    def pack(self) -> bytes:
+        ident = ELF_MAGIC + bytes(
+            [ELFCLASS64, ELFDATA2LSB, EV_CURRENT, 0] + [0] * 8
+        )
+        return struct.pack(
+            _EHDR_FMT,
+            ident,
+            self.e_type,
+            self.e_machine,
+            EV_CURRENT,
+            self.e_entry,
+            self.e_phoff,
+            self.e_shoff,
+            self.e_flags,
+            EHDR_SIZE,
+            PHDR_SIZE if self.e_phnum else 0,
+            self.e_phnum,
+            SHDR_SIZE if self.e_shnum else 0,
+            self.e_shnum,
+            self.e_shstrndx,
+        )
+
+    @classmethod
+    def unpack(cls, data: bytes) -> "ElfHeader":
+        fields = struct.unpack_from(_EHDR_FMT, data, 0)
+        ident = fields[0]
+        if ident[:4] != ELF_MAGIC:
+            raise ValueError("bad ELF magic")
+        if ident[4] != ELFCLASS64 or ident[5] != ELFDATA2LSB:
+            raise ValueError("only little-endian ELF64 is supported")
+        return cls(
+            e_type=fields[1],
+            e_machine=fields[2],
+            e_entry=fields[4],
+            e_phoff=fields[5],
+            e_shoff=fields[6],
+            e_flags=fields[7],
+            e_phnum=fields[10],
+            e_shnum=fields[12],
+            e_shstrndx=fields[13],
+        )
+
+
+@dataclass
+class ProgramHeader:
+    """One program (segment) header (Phdr)."""
+
+    p_type: int = PT_LOAD
+    p_flags: int = PF_R
+    p_offset: int = 0
+    p_vaddr: int = 0
+    p_paddr: int = 0
+    p_filesz: int = 0
+    p_memsz: int = 0
+    p_align: int = 0x1000
+
+    def pack(self) -> bytes:
+        return struct.pack(
+            _PHDR_FMT,
+            self.p_type,
+            self.p_flags,
+            self.p_offset,
+            self.p_vaddr,
+            self.p_paddr,
+            self.p_filesz,
+            self.p_memsz,
+            self.p_align,
+        )
+
+    @classmethod
+    def unpack(cls, data: bytes, offset: int = 0) -> "ProgramHeader":
+        fields = struct.unpack_from(_PHDR_FMT, data, offset)
+        return cls(
+            p_type=fields[0],
+            p_flags=fields[1],
+            p_offset=fields[2],
+            p_vaddr=fields[3],
+            p_paddr=fields[4],
+            p_filesz=fields[5],
+            p_memsz=fields[6],
+            p_align=fields[7],
+        )
+
+
+@dataclass
+class SectionHeader:
+    """One section header (Shdr)."""
+
+    sh_name: int = 0
+    sh_type: int = SHT_PROGBITS
+    sh_flags: int = 0
+    sh_addr: int = 0
+    sh_offset: int = 0
+    sh_size: int = 0
+    sh_link: int = 0
+    sh_info: int = 0
+    sh_addralign: int = 1
+    sh_entsize: int = 0
+
+    def pack(self) -> bytes:
+        return struct.pack(
+            _SHDR_FMT,
+            self.sh_name,
+            self.sh_type,
+            self.sh_flags,
+            self.sh_addr,
+            self.sh_offset,
+            self.sh_size,
+            self.sh_link,
+            self.sh_info,
+            self.sh_addralign,
+            self.sh_entsize,
+        )
+
+    @classmethod
+    def unpack(cls, data: bytes, offset: int = 0) -> "SectionHeader":
+        fields = struct.unpack_from(_SHDR_FMT, data, offset)
+        return cls(
+            sh_name=fields[0],
+            sh_type=fields[1],
+            sh_flags=fields[2],
+            sh_addr=fields[3],
+            sh_offset=fields[4],
+            sh_size=fields[5],
+            sh_link=fields[6],
+            sh_info=fields[7],
+            sh_addralign=fields[8],
+            sh_entsize=fields[9],
+        )
+
+
+@dataclass
+class Symbol:
+    """One symbol-table entry (Sym).
+
+    ``name`` is the resolved string; the on-disk ``st_name`` offset is
+    managed by the writer/reader.
+    """
+
+    name: str
+    value: int
+    size: int = 0
+    binding: int = STB_GLOBAL
+    sym_type: int = STT_NOTYPE
+    shndx: int = SHN_ABS
+
+    def pack(self, name_offset: int) -> bytes:
+        info = (self.binding << 4) | (self.sym_type & 0xF)
+        return struct.pack(
+            _SYM_FMT, name_offset, info, 0, self.shndx, self.value, self.size
+        )
+
+    @classmethod
+    def unpack(cls, data: bytes, offset: int, strtab: bytes) -> "Symbol":
+        name_off, info, _other, shndx, value, size = struct.unpack_from(
+            _SYM_FMT, data, offset
+        )
+        end = strtab.index(b"\x00", name_off)
+        return cls(
+            name=strtab[name_off:end].decode("utf-8", "replace"),
+            value=value,
+            size=size,
+            binding=info >> 4,
+            sym_type=info & 0xF,
+            shndx=shndx,
+        )
+
+
+class StringTable:
+    """An ELF string table under construction."""
+
+    def __init__(self) -> None:
+        self._data = bytearray(b"\x00")
+        self._offsets = {"": 0}
+
+    def add(self, name: str) -> int:
+        """Intern *name*, returning its offset."""
+        if name in self._offsets:
+            return self._offsets[name]
+        offset = len(self._data)
+        self._data += name.encode("utf-8") + b"\x00"
+        self._offsets[name] = offset
+        return offset
+
+    def bytes(self) -> bytes:
+        return bytes(self._data)
+
+
+def prot_to_pflags(prot: int) -> int:
+    """Convert mmap PROT_* bits to ELF segment PF_* bits."""
+    flags = 0
+    if prot & 1:
+        flags |= PF_R
+    if prot & 2:
+        flags |= PF_W
+    if prot & 4:
+        flags |= PF_X
+    return flags
+
+
+def pflags_to_prot(pflags: int) -> int:
+    """Convert ELF segment PF_* bits to mmap PROT_* bits."""
+    prot = 0
+    if pflags & PF_R:
+        prot |= 1
+    if pflags & PF_W:
+        prot |= 2
+    if pflags & PF_X:
+        prot |= 4
+    return prot

@@ -1,0 +1,577 @@
+"""Two-pass assembler for PX assembly text.
+
+The syntax is deliberately close to AT&T-free Intel syntax::
+
+    start:
+        mov rax, 60          ; register, immediate or label
+        ld rbx, [rax+8]      ; 8-byte load
+        st [rbx-16], rcx
+        add rax, rbx
+        cmp rax, 100
+        jl start
+        syscall
+    table:
+        .quad start          ; label value as data (thread-entry tables)
+        .long 5
+        .byte 0xff
+        .ascii "hello"
+        .zero 16
+        .align 8
+
+Labels may be used as 64-bit immediates (``mov rax, label``), as branch
+targets, and in ``.quad`` data — exactly what ELFie startup code needs
+for its thread-entry tables.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.isa.encoding import encode
+from repro.isa.instructions import Instruction, Op, OPCODE_TABLE, Operand
+from repro.isa.registers import GPR_INDEX, XMM_INDEX
+
+
+class AssemblyError(Exception):
+    """Raised on any syntax or semantic error in assembly input."""
+
+
+@dataclass(frozen=True)
+class LabelRef:
+    """A symbolic reference resolved during the second pass."""
+
+    name: str
+    addend: int = 0
+
+
+# Internal operand classification produced by the parser.
+_REG = "reg"
+_XREG = "xreg"
+_IMM = "imm"
+_FLT = "flt"
+_MEM = "mem"
+_SYM = "sym"
+_MEMABS = "memabs"   # [label] — expanded via the r11 scratch register
+
+#: Register used to expand absolute memory operands ([label]); by
+#: convention r11 is a caller-clobbered scratch register (as on x86-64,
+#: where the kernel clobbers it on syscall).
+SCRATCH_REG = 11
+
+
+@dataclass
+class _Item:
+    """One assembled item: an instruction or a data directive blob."""
+
+    kind: str                      # "insn" | "data"
+    size: int
+    op: Optional[Op] = None
+    operands: Tuple[object, ...] = ()
+    data: bytes = b""
+    sym_quads: List[Tuple[int, LabelRef]] = field(default_factory=list)
+    line: int = 0
+
+
+@dataclass
+class AssembledProgram:
+    """Result of assembling a source text or emit sequence."""
+
+    base: int
+    code: bytes
+    labels: Dict[str, int]
+
+    @property
+    def size(self) -> int:
+        return len(self.code)
+
+    def address_of(self, label: str) -> int:
+        """Absolute address of *label*."""
+        if label not in self.labels:
+            raise KeyError("undefined label %r" % label)
+        return self.labels[label]
+
+
+def _unescape(text: str) -> bytes:
+    """Process C-style escapes (\\n, \\t, \\0, \\\\, \\") in string literals."""
+    return (
+        text.encode("utf-8")
+        .decode("unicode_escape")
+        .encode("latin-1")
+    )
+
+
+def _parse_int(token: str) -> int:
+    return int(token, 0)
+
+
+def _is_int(token: str) -> bool:
+    try:
+        int(token, 0)
+        return True
+    except ValueError:
+        return False
+
+
+def _is_float(token: str) -> bool:
+    if _is_int(token):
+        return False
+    try:
+        float(token)
+        return True
+    except ValueError:
+        return False
+
+
+def _split_operands(text: str) -> List[str]:
+    """Split an operand string on commas not inside brackets or quotes."""
+    parts: List[str] = []
+    depth = 0
+    in_str = False
+    current = []
+    for ch in text:
+        if ch == '"':
+            in_str = not in_str
+            current.append(ch)
+        elif ch == "[" and not in_str:
+            depth += 1
+            current.append(ch)
+        elif ch == "]" and not in_str:
+            depth -= 1
+            current.append(ch)
+        elif ch == "," and depth == 0 and not in_str:
+            parts.append("".join(current).strip())
+            current = []
+        else:
+            current.append(ch)
+    tail = "".join(current).strip()
+    if tail:
+        parts.append(tail)
+    return parts
+
+
+def _classify(token: str) -> Tuple[str, object]:
+    """Classify one operand token into (kind, value)."""
+    if token.startswith("["):
+        if not token.endswith("]"):
+            raise AssemblyError("malformed memory operand %r" % token)
+        inner = token[1:-1].strip()
+        # forms: reg | reg+imm | reg-imm
+        for sep, sign in (("+", 1), ("-", -1)):
+            idx = inner.find(sep)
+            if idx > 0:
+                base_tok = inner[:idx].strip()
+                disp_tok = inner[idx + 1 :].strip()
+                if base_tok not in GPR_INDEX:
+                    raise AssemblyError("unknown base register %r" % base_tok)
+                if not _is_int(disp_tok):
+                    raise AssemblyError("bad displacement %r" % disp_tok)
+                return _MEM, (GPR_INDEX[base_tok], sign * _parse_int(disp_tok))
+        if inner not in GPR_INDEX:
+            # absolute addressing: [label] or [label+off]
+            kind, value = _classify(inner)
+            if kind == _SYM or kind == _IMM:
+                return _MEMABS, value
+            raise AssemblyError("unknown base register %r" % inner)
+        return _MEM, (GPR_INDEX[inner], 0)
+    if token in GPR_INDEX:
+        return _REG, GPR_INDEX[token]
+    if token in XMM_INDEX:
+        return _XREG, XMM_INDEX[token]
+    if _is_int(token):
+        return _IMM, _parse_int(token)
+    if _is_float(token):
+        return _FLT, float(token)
+    # label, possibly label+addend
+    for sep, sign in (("+", 1), ("-", -1)):
+        idx = token.find(sep)
+        if idx > 0:
+            name = token[:idx].strip()
+            off = token[idx + 1 :].strip()
+            if _is_int(off) and name.isidentifier():
+                return _SYM, LabelRef(name, sign * _parse_int(off))
+    if not token.replace(".", "_").replace("$", "_").isidentifier():
+        raise AssemblyError("cannot parse operand %r" % token)
+    return _SYM, LabelRef(token)
+
+
+# (mnemonic, shape tuple) -> Op.  Shapes use the internal kinds above,
+# with _SYM accepted wherever _IMM is.
+_ALU_RR_RI = {
+    "add": (Op.ADD_RR, Op.ADD_RI),
+    "sub": (Op.SUB_RR, Op.SUB_RI),
+    "imul": (Op.IMUL_RR, Op.IMUL_RI),
+    "and": (Op.AND_RR, Op.AND_RI),
+    "or": (Op.OR_RR, Op.OR_RI),
+    "xor": (Op.XOR_RR, Op.XOR_RI),
+    "shl": (Op.SHL_RR, Op.SHL_RI),
+    "shr": (Op.SHR_RR, Op.SHR_RI),
+}
+
+_SIMPLE = {
+    "nop": Op.NOP,
+    "hlt": Op.HLT,
+    "syscall": Op.SYSCALL,
+    "cpuid": Op.CPUID,
+    "pause": Op.PAUSE,
+    "rdtsc": Op.RDTSC,
+    "ret": Op.RET,
+    "pushf": Op.PUSHF,
+    "popf": Op.POPF,
+}
+
+_BRANCHES = {
+    "jmp": Op.JMP,
+    "jz": Op.JZ,
+    "je": Op.JZ,
+    "jnz": Op.JNZ,
+    "jne": Op.JNZ,
+    "jl": Op.JL,
+    "jge": Op.JGE,
+    "jg": Op.JG,
+    "jle": Op.JLE,
+    "jb": Op.JB,
+    "jae": Op.JAE,
+}
+
+_LOADS = {"ld": Op.LD, "ld4": Op.LD4, "ld1": Op.LD1, "lea": Op.LEA, "fld": Op.FLD}
+_STORES = {"st": Op.ST, "st4": Op.ST4, "st1": Op.ST1, "fst": Op.FST}
+_FARITH = {"fadd": Op.FADD, "fsub": Op.FSUB, "fmul": Op.FMUL, "fdiv": Op.FDIV,
+           "fcmp": Op.FCMP}
+_ATOMICS = {"xadd": Op.XADD, "cmpxchg": Op.CMPXCHG, "xchg": Op.XCHG}
+_XSTATE = {"xsave": Op.XSAVE, "xrstor": Op.XRSTOR}
+_SEGBASE = {"wrfsbase": Op.WRFSBASE, "wrgsbase": Op.WRGSBASE,
+            "rdfsbase": Op.RDFSBASE, "rdgsbase": Op.RDGSBASE}
+
+
+def _select_op(mnemonic: str, kinds: Sequence[str], line: int) -> Op:
+    """Pick the opcode for *mnemonic* given classified operand kinds."""
+
+    def err() -> AssemblyError:
+        return AssemblyError(
+            "line %d: bad operands for %r: %s" % (line, mnemonic, list(kinds))
+        )
+
+    m = mnemonic
+    if m in _SIMPLE:
+        if kinds:
+            raise err()
+        return _SIMPLE[m]
+    if m == "marker":
+        if kinds != [_IMM]:
+            raise err()
+        return Op.MARKER
+    if m == "mov":
+        if kinds == [_REG, _REG]:
+            return Op.MOV_RR
+        if kinds == [_REG, _IMM] or kinds == [_REG, _SYM]:
+            return Op.MOV_RI
+        raise err()
+    if m in _LOADS:
+        if kinds == [_XREG, _MEM] and m == "fld":
+            return Op.FLD
+        if kinds == [_REG, _MEM] and m != "fld":
+            return _LOADS[m]
+        raise err()
+    if m in _STORES:
+        if kinds == [_MEM, _XREG] and m == "fst":
+            return Op.FST
+        if kinds == [_MEM, _REG] and m != "fst":
+            return _STORES[m]
+        raise err()
+    if m in _ALU_RR_RI:
+        if kinds == [_REG, _REG]:
+            return _ALU_RR_RI[m][0]
+        if kinds == [_REG, _IMM]:
+            return _ALU_RR_RI[m][1]
+        raise err()
+    if m == "div":
+        if kinds == [_REG, _REG]:
+            return Op.DIV_RR
+        raise err()
+    if m == "mod":
+        if kinds == [_REG, _REG]:
+            return Op.MOD_RR
+        raise err()
+    if m == "cmp":
+        if kinds == [_REG, _REG]:
+            return Op.CMP_RR
+        if kinds == [_REG, _IMM]:
+            return Op.CMP_RI
+        raise err()
+    if m == "test":
+        if kinds == [_REG, _REG]:
+            return Op.TEST_RR
+        raise err()
+    if m == "jmpabs":
+        if kinds == [_IMM] or kinds == [_SYM]:
+            return Op.JMPABS
+        raise err()
+    if m in _BRANCHES:
+        if m == "jmp" and kinds == [_REG]:
+            return Op.JMP_R
+        if kinds == [_SYM] or kinds == [_IMM]:
+            return _BRANCHES[m]
+        raise err()
+    if m == "call":
+        if kinds == [_REG]:
+            return Op.CALL_R
+        if kinds == [_SYM] or kinds == [_IMM]:
+            return Op.CALL
+        raise err()
+    if m == "push":
+        if kinds == [_REG]:
+            return Op.PUSH
+        raise err()
+    if m == "pop":
+        if kinds == [_REG]:
+            return Op.POP
+        raise err()
+    if m in _ATOMICS:
+        if kinds == [_MEM, _REG]:
+            return _ATOMICS[m]
+        raise err()
+    if m == "fmov":
+        if kinds == [_XREG, _XREG]:
+            return Op.FMOV_XX
+        if kinds == [_XREG, _FLT] or kinds == [_XREG, _IMM]:
+            return Op.FMOV_XI
+        raise err()
+    if m in _FARITH:
+        if kinds == [_XREG, _XREG]:
+            return _FARITH[m]
+        raise err()
+    if m == "cvtsi2sd":
+        if kinds == [_XREG, _REG]:
+            return Op.CVTSI2SD
+        raise err()
+    if m == "cvtsd2si":
+        if kinds == [_REG, _XREG]:
+            return Op.CVTSD2SI
+        raise err()
+    if m in _XSTATE:
+        if kinds == [_MEM]:
+            return _XSTATE[m]
+        raise err()
+    if m in _SEGBASE:
+        if kinds == [_REG]:
+            return _SEGBASE[m]
+        raise err()
+    raise AssemblyError("line %d: unknown mnemonic %r" % (line, mnemonic))
+
+
+class Assembler:
+    """Two-pass PX assembler.
+
+    Use :meth:`add` to feed source text (possibly in several chunks) and
+    :meth:`assemble` to produce the final :class:`AssembledProgram`.
+    """
+
+    def __init__(self, base: int = 0) -> None:
+        self.base = base
+        self._items: List[_Item] = []
+        self._labels: Dict[str, int] = {}  # label -> offset from base
+        self._offset = 0
+        self._line_no = 0
+
+    # -- source interface ------------------------------------------------
+
+    def add(self, text: str) -> "Assembler":
+        """Parse and append assembly source text.  Returns self."""
+        for raw_line in text.splitlines():
+            self._line_no += 1
+            self._parse_line(raw_line)
+        return self
+
+    def define_label(self, name: str) -> None:
+        """Define *name* at the current offset."""
+        if name in self._labels:
+            raise AssemblyError("duplicate label %r" % name)
+        self._labels[name] = self._offset
+
+    def emit_bytes(self, data: bytes) -> None:
+        """Append raw data bytes at the current offset."""
+        self._items.append(_Item(kind="data", size=len(data), data=bytes(data)))
+        self._offset += len(data)
+
+    def emit_quad_label(self, ref: Union[str, LabelRef]) -> None:
+        """Append an 8-byte slot holding a label's absolute address."""
+        if isinstance(ref, str):
+            ref = LabelRef(ref)
+        item = _Item(kind="data", size=8, data=b"\x00" * 8,
+                     sym_quads=[(0, ref)])
+        self._items.append(item)
+        self._offset += 8
+
+    @property
+    def current_offset(self) -> int:
+        return self._offset
+
+    # -- parsing ----------------------------------------------------------
+
+    def _parse_line(self, raw_line: str) -> None:
+        # strip comments (';' or '#'), respecting string literals
+        line = []
+        in_str = False
+        for ch in raw_line:
+            if ch == '"':
+                in_str = not in_str
+            if ch in ";#" and not in_str:
+                break
+            line.append(ch)
+        text = "".join(line).strip()
+        if not text:
+            return
+        # labels (possibly several on one line)
+        while True:
+            idx = text.find(":")
+            if idx <= 0:
+                break
+            head = text[:idx].strip()
+            if not head.replace(".", "_").replace("$", "_").isidentifier():
+                break
+            self.define_label(head)
+            text = text[idx + 1 :].strip()
+        if not text:
+            return
+        if text.startswith("."):
+            self._parse_directive(text)
+            return
+        parts = text.split(None, 1)
+        mnemonic = parts[0].lower()
+        operand_text = parts[1] if len(parts) > 1 else ""
+        tokens = _split_operands(operand_text)
+        classified = [_classify(tok) for tok in tokens]
+        kinds = [kind for kind, _ in classified]
+        values = [value for _, value in classified]
+        # Expand absolute memory operands ([label]) through the scratch
+        # register: "ld rax, [flag]" -> "mov r11, flag; ld rax, [r11]".
+        abs_indices = [i for i, kind in enumerate(kinds) if kind == _MEMABS]
+        if len(abs_indices) > 1:
+            raise AssemblyError(
+                "line %d: at most one absolute memory operand" % self._line_no
+            )
+        if abs_indices:
+            index = abs_indices[0]
+            self._emit_insn(Op.MOV_RI, (SCRATCH_REG, values[index]))
+            kinds[index] = _MEM
+            values[index] = (SCRATCH_REG, 0)
+        # Expand ALU/cmp immediates wider than 32 bits through the
+        # scratch register: "imul rbx, BIGCONST" ->
+        # "mov r11, BIGCONST; imul rbx, r11".
+        if (
+            mnemonic != "mov"
+            and kinds == [_REG, _IMM]
+            and not -(1 << 31) <= int(values[1]) < (1 << 31)
+        ):
+            if values[0] == SCRATCH_REG:
+                raise AssemblyError(
+                    "line %d: r11 is the assembler scratch register and "
+                    "cannot take a wide immediate" % self._line_no
+                )
+            self._emit_insn(Op.MOV_RI, (SCRATCH_REG, values[1]))
+            kinds[1] = _REG
+            values[1] = SCRATCH_REG
+        op = _select_op(mnemonic, kinds, self._line_no)
+        self._emit_insn(op, tuple(values))
+
+    def _emit_insn(self, op: Op, operands: Tuple[object, ...]) -> None:
+        from repro.isa.instructions import instruction_size
+
+        self._items.append(
+            _Item(
+                kind="insn",
+                size=instruction_size(op),
+                op=op,
+                operands=operands,
+                line=self._line_no,
+            )
+        )
+        self._offset += self._items[-1].size
+
+    def _parse_directive(self, text: str) -> None:
+        parts = text.split(None, 1)
+        name = parts[0]
+        arg = parts[1].strip() if len(parts) > 1 else ""
+        if name == ".quad":
+            for tok in _split_operands(arg):
+                if _is_int(tok):
+                    self.emit_bytes(struct.pack("<Q", _parse_int(tok) & ((1 << 64) - 1)))
+                else:
+                    kind, value = _classify(tok)
+                    if kind != _SYM:
+                        raise AssemblyError(".quad takes ints or labels, got %r" % tok)
+                    self.emit_quad_label(value)  # type: ignore[arg-type]
+        elif name == ".long":
+            for tok in _split_operands(arg):
+                self.emit_bytes(struct.pack("<I", _parse_int(tok) & 0xFFFFFFFF))
+        elif name == ".byte":
+            for tok in _split_operands(arg):
+                self.emit_bytes(bytes([_parse_int(tok) & 0xFF]))
+        elif name == ".double":
+            for tok in _split_operands(arg):
+                self.emit_bytes(struct.pack("<d", float(tok)))
+        elif name == ".ascii":
+            if not (arg.startswith('"') and arg.endswith('"')):
+                raise AssemblyError(".ascii requires a quoted string")
+            self.emit_bytes(_unescape(arg[1:-1]))
+        elif name == ".asciz":
+            if not (arg.startswith('"') and arg.endswith('"')):
+                raise AssemblyError(".asciz requires a quoted string")
+            self.emit_bytes(_unescape(arg[1:-1]) + b"\x00")
+        elif name == ".zero":
+            self.emit_bytes(b"\x00" * _parse_int(arg))
+        elif name == ".align":
+            align = _parse_int(arg)
+            if align <= 0 or align & (align - 1):
+                raise AssemblyError(".align requires a power of two")
+            pad = (-self._offset) % align
+            if pad:
+                self.emit_bytes(b"\x00" * pad)
+        else:
+            raise AssemblyError("unknown directive %r" % name)
+
+    # -- second pass -------------------------------------------------------
+
+    def _resolve(self, value: object, pc_after: int) -> object:
+        """Resolve LabelRef operands to absolute addresses."""
+        if isinstance(value, LabelRef):
+            if value.name not in self._labels:
+                raise AssemblyError("undefined label %r" % value.name)
+            return self.base + self._labels[value.name] + value.addend
+        return value
+
+    def assemble(self) -> AssembledProgram:
+        """Run the second pass and produce the final program bytes."""
+        out = bytearray()
+        offset = 0
+        for item in self._items:
+            if item.kind == "data":
+                blob = bytearray(item.data)
+                for pos, ref in item.sym_quads:
+                    addr = self._resolve(ref, 0)
+                    struct.pack_into("<Q", blob, pos, int(addr) & ((1 << 64) - 1))
+                out += blob
+            else:
+                assert item.op is not None
+                pc_after = self.base + offset + item.size
+                resolved = []
+                for kind, value in zip(OPCODE_TABLE[item.op], item.operands):
+                    value = self._resolve(value, pc_after)
+                    if kind == Operand.REL32 and isinstance(value, int):
+                        # branch targets were resolved to absolute addresses;
+                        # immediates given as ints are already relative
+                        orig = item.operands[len(resolved)]
+                        if isinstance(orig, LabelRef):
+                            value = value - pc_after
+                    resolved.append(value)
+                out += encode(Instruction(item.op, tuple(resolved)))
+            offset += item.size
+        labels = {name: self.base + off for name, off in self._labels.items()}
+        return AssembledProgram(base=self.base, code=bytes(out), labels=labels)
+
+
+def assemble(text: str, base: int = 0) -> AssembledProgram:
+    """Assemble *text* at the given base address."""
+    return Assembler(base=base).add(text).assemble()

@@ -1,0 +1,110 @@
+"""Textual disassembly of PX machine code.
+
+Used by debugging helpers and by ``pinball2elf --dump-contexts`` style
+assembly listings.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional, Tuple
+
+from repro.isa.encoding import decode, InstructionDecodeError
+from repro.isa.instructions import Instruction, Op, OPCODE_TABLE, Operand
+from repro.isa.registers import GPR_NAMES, XMM_NAMES
+
+# Display mnemonic per opcode (inverse of the assembler's tables).
+_MNEMONIC = {
+    Op.NOP: "nop", Op.HLT: "hlt", Op.SYSCALL: "syscall", Op.CPUID: "cpuid",
+    Op.PAUSE: "pause", Op.MARKER: "marker", Op.RDTSC: "rdtsc",
+    Op.MOV_RI: "mov", Op.MOV_RR: "mov", Op.LD: "ld", Op.ST: "st",
+    Op.LEA: "lea", Op.LD4: "ld4", Op.ST4: "st4", Op.LD1: "ld1", Op.ST1: "st1",
+    Op.ADD_RR: "add", Op.SUB_RR: "sub", Op.IMUL_RR: "imul", Op.DIV_RR: "div",
+    Op.AND_RR: "and", Op.OR_RR: "or", Op.XOR_RR: "xor", Op.SHL_RR: "shl",
+    Op.SHR_RR: "shr", Op.MOD_RR: "mod",
+    Op.ADD_RI: "add", Op.SUB_RI: "sub", Op.IMUL_RI: "imul", Op.AND_RI: "and",
+    Op.OR_RI: "or", Op.XOR_RI: "xor", Op.SHL_RI: "shl", Op.SHR_RI: "shr",
+    Op.CMP_RR: "cmp", Op.CMP_RI: "cmp", Op.TEST_RR: "test",
+    Op.JMP: "jmp", Op.JZ: "jz", Op.JNZ: "jnz", Op.JL: "jl", Op.JGE: "jge",
+    Op.JG: "jg", Op.JLE: "jle", Op.JB: "jb", Op.JAE: "jae", Op.JMP_R: "jmp", Op.JMPABS: "jmpabs",
+    Op.CALL: "call", Op.RET: "ret", Op.PUSH: "push", Op.POP: "pop",
+    Op.CALL_R: "call", Op.PUSHF: "pushf", Op.POPF: "popf",
+    Op.XADD: "xadd", Op.CMPXCHG: "cmpxchg", Op.XCHG: "xchg",
+    Op.FMOV_XI: "fmov", Op.FLD: "fld", Op.FST: "fst", Op.FADD: "fadd",
+    Op.FSUB: "fsub", Op.FMUL: "fmul", Op.FDIV: "fdiv", Op.FCMP: "fcmp",
+    Op.CVTSI2SD: "cvtsi2sd", Op.CVTSD2SI: "cvtsd2si", Op.FMOV_XX: "fmov",
+    Op.XSAVE: "xsave", Op.XRSTOR: "xrstor",
+    Op.WRFSBASE: "wrfsbase", Op.WRGSBASE: "wrgsbase",
+    Op.RDFSBASE: "rdfsbase", Op.RDGSBASE: "rdgsbase",
+}
+
+
+def _format_operand(kind: Operand, value: object, pc_after: Optional[int]) -> str:
+    if kind == Operand.R:
+        return GPR_NAMES[int(value)]  # type: ignore[arg-type]
+    if kind == Operand.X:
+        return XMM_NAMES[int(value)]  # type: ignore[arg-type]
+    if kind == Operand.I64:
+        return "0x%x" % int(value)  # type: ignore[arg-type]
+    if kind == Operand.I32:
+        return str(int(value))  # type: ignore[arg-type]
+    if kind == Operand.REL32:
+        rel = int(value)  # type: ignore[arg-type]
+        if pc_after is not None:
+            return "0x%x" % (pc_after + rel)
+        return ("+%d" % rel) if rel >= 0 else str(rel)
+    if kind == Operand.M:
+        base, disp = value  # type: ignore[misc]
+        if disp == 0:
+            return "[%s]" % GPR_NAMES[base]
+        sign = "+" if disp > 0 else "-"
+        return "[%s%s%d]" % (GPR_NAMES[base], sign, abs(disp))
+    if kind == Operand.F64:
+        return repr(float(value))  # type: ignore[arg-type]
+    raise AssertionError("unknown operand kind %r" % (kind,))
+
+
+def format_instruction(insn: Instruction, pc: Optional[int] = None) -> str:
+    """Render one instruction as assembly text.
+
+    If *pc* (the instruction's address) is given, branch targets are shown
+    as absolute addresses.
+    """
+    pc_after = pc + insn.size if pc is not None else None
+    mnemonic = _MNEMONIC[insn.op]
+    rendered = [
+        _format_operand(kind, value, pc_after)
+        for kind, value in zip(OPCODE_TABLE[insn.op], insn.operands)
+    ]
+    if rendered:
+        return "%s %s" % (mnemonic, ", ".join(rendered))
+    return mnemonic
+
+
+def disassemble_one(data: bytes, offset: int = 0,
+                    pc: Optional[int] = None) -> Tuple[str, int]:
+    """Disassemble one instruction; returns (text, next offset)."""
+    insn, next_offset = decode(data, offset)
+    return format_instruction(insn, pc), next_offset
+
+
+def disassemble(data: bytes, base: int = 0,
+                stop_on_error: bool = True) -> Iterator[Tuple[int, str]]:
+    """Yield (address, text) for each instruction in *data*.
+
+    With ``stop_on_error=False``, undecodable bytes are rendered as
+    ``.byte`` lines and disassembly continues — useful when code and data
+    are interleaved (as in ELFie memory images).
+    """
+    offset = 0
+    while offset < len(data):
+        address = base + offset
+        try:
+            insn, next_offset = decode(data, offset)
+        except InstructionDecodeError:
+            if stop_on_error:
+                return
+            yield address, ".byte 0x%02x" % data[offset]
+            offset += 1
+            continue
+        yield address, format_instruction(insn, address)
+        offset = next_offset

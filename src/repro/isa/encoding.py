@@ -1,0 +1,120 @@
+"""Binary encoding and decoding of PX instructions."""
+
+from __future__ import annotations
+
+import struct
+from typing import Tuple
+
+from repro.isa.instructions import (
+    Instruction,
+    Op,
+    OPCODE_TABLE,
+    Operand,
+)
+
+
+class InstructionDecodeError(Exception):
+    """Raised when a byte sequence is not a valid PX instruction.
+
+    During ELFie execution this is the analog of x86 #UD: it occurs when
+    control flow diverges into bytes that are data, not code.  When
+    ``truncated`` is true the stream ended mid-instruction (typically the
+    next page is unmapped), which the CPU surfaces as a SIGSEGV-style
+    fault rather than SIGILL.
+    """
+
+    def __init__(self, message: str, truncated: bool = False) -> None:
+        self.truncated = truncated
+        super().__init__(message)
+
+
+_VALID_OPCODES = {int(op) for op in Op}
+
+
+def _encode_operand(kind: Operand, value: object) -> bytes:
+    if kind in (Operand.R, Operand.X):
+        reg = int(value)  # type: ignore[arg-type]
+        if not 0 <= reg <= 15:
+            raise ValueError("register index out of range: %r" % (value,))
+        return bytes([reg])
+    if kind == Operand.I64:
+        return struct.pack("<Q", int(value) & ((1 << 64) - 1))  # type: ignore[arg-type]
+    if kind in (Operand.I32, Operand.REL32):
+        ival = int(value)  # type: ignore[arg-type]
+        if not -(1 << 31) <= ival < (1 << 32):
+            raise ValueError("32-bit immediate out of range: %r" % (value,))
+        return struct.pack("<i", ival if ival < (1 << 31) else ival - (1 << 32))
+    if kind == Operand.M:
+        base, disp = value  # type: ignore[misc]
+        base = int(base)
+        disp = int(disp)
+        if not 0 <= base <= 15:
+            raise ValueError("memory base register out of range: %r" % (base,))
+        if not -(1 << 31) <= disp < (1 << 31):
+            raise ValueError("memory displacement out of range: %r" % (disp,))
+        return bytes([base]) + struct.pack("<i", disp)
+    if kind == Operand.F64:
+        return struct.pack("<d", float(value))  # type: ignore[arg-type]
+    raise AssertionError("unknown operand kind %r" % (kind,))
+
+
+def encode(insn: Instruction) -> bytes:
+    """Encode one instruction to bytes."""
+    parts = [bytes([int(insn.op)])]
+    for kind, value in zip(OPCODE_TABLE[insn.op], insn.operands):
+        parts.append(_encode_operand(kind, value))
+    return b"".join(parts)
+
+
+def _decode_operand(kind: Operand, data: bytes, offset: int) -> Tuple[object, int]:
+    if kind in (Operand.R, Operand.X):
+        if offset >= len(data):
+            raise InstructionDecodeError("truncated register operand", truncated=True)
+        return data[offset], offset + 1
+    if kind == Operand.I64:
+        if offset + 8 > len(data):
+            raise InstructionDecodeError("truncated 64-bit immediate", truncated=True)
+        (value,) = struct.unpack_from("<Q", data, offset)
+        return value, offset + 8
+    if kind in (Operand.I32, Operand.REL32):
+        if offset + 4 > len(data):
+            raise InstructionDecodeError("truncated 32-bit immediate", truncated=True)
+        (value,) = struct.unpack_from("<i", data, offset)
+        return value, offset + 4
+    if kind == Operand.M:
+        if offset + 5 > len(data):
+            raise InstructionDecodeError("truncated memory operand", truncated=True)
+        base = data[offset]
+        if base > 15:
+            raise InstructionDecodeError("invalid base register %d" % base)
+        (disp,) = struct.unpack_from("<i", data, offset + 1)
+        return (base, disp), offset + 5
+    if kind == Operand.F64:
+        if offset + 8 > len(data):
+            raise InstructionDecodeError("truncated float immediate", truncated=True)
+        (value,) = struct.unpack_from("<d", data, offset)
+        return value, offset + 8
+    raise AssertionError("unknown operand kind %r" % (kind,))
+
+
+def decode(data: bytes, offset: int = 0) -> Tuple[Instruction, int]:
+    """Decode one instruction starting at *offset*.
+
+    Returns the instruction and the offset just past it.  Raises
+    :class:`InstructionDecodeError` on invalid or truncated encodings.
+    """
+    if offset >= len(data):
+        raise InstructionDecodeError("empty instruction stream", truncated=True)
+    opcode = data[offset]
+    if opcode not in _VALID_OPCODES:
+        raise InstructionDecodeError("invalid opcode 0x%02x" % opcode)
+    op = Op(opcode)
+    operands = []
+    pos = offset + 1
+    for kind in OPCODE_TABLE[op]:
+        value, pos = _decode_operand(kind, data, pos)
+        if kind == Operand.R or kind == Operand.X:
+            if value > 15:
+                raise InstructionDecodeError("invalid register %d" % value)
+        operands.append(value)
+    return Instruction(op, tuple(operands)), pos

@@ -1,0 +1,183 @@
+"""Register model for the PX architecture.
+
+The general-purpose registers carry the x86-64 names so that pinball
+``.reg`` files, ELFie context symbols (``.t0.rax`` ...), and startup code
+read exactly like the paper's artifacts.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+#: GPR names in x86-64 encoding order (index = hardware register number).
+GPR_NAMES: List[str] = [
+    "rax", "rcx", "rdx", "rbx", "rsp", "rbp", "rsi", "rdi",
+    "r8", "r9", "r10", "r11", "r12", "r13", "r14", "r15",
+]
+
+#: Map from register name to hardware index.
+GPR_INDEX: Dict[str, int] = {name: i for i, name in enumerate(GPR_NAMES)}
+
+#: Number of extended (floating point) registers, named xmm0..xmm15.
+XMM_COUNT = 16
+
+#: Names of the extended registers.
+XMM_NAMES: List[str] = ["xmm%d" % i for i in range(XMM_COUNT)]
+
+XMM_INDEX: Dict[str, int] = {name: i for i, name in enumerate(XMM_NAMES)}
+
+MASK64 = (1 << 64) - 1
+
+# Size in bytes of the serialized XSAVE-style extended-state area:
+# 16 xmm registers of 8 bytes each plus an 8-byte MXCSR-like control word.
+XSAVE_AREA_SIZE = XMM_COUNT * 8 + 8
+
+
+@dataclass
+class Flags:
+    """Condition flags, an RFLAGS subset sufficient for PX control flow."""
+
+    zf: bool = False
+    sf: bool = False
+    cf: bool = False
+    of: bool = False
+
+    def to_word(self) -> int:
+        """Pack the flags into an RFLAGS-style integer (x86 bit positions)."""
+        word = 0x2  # bit 1 is always set in RFLAGS
+        if self.cf:
+            word |= 1 << 0
+        if self.zf:
+            word |= 1 << 6
+        if self.sf:
+            word |= 1 << 7
+        if self.of:
+            word |= 1 << 11
+        return word
+
+    @classmethod
+    def from_word(cls, word: int) -> "Flags":
+        """Unpack flags from an RFLAGS-style integer."""
+        return cls(
+            cf=bool(word & (1 << 0)),
+            zf=bool(word & (1 << 6)),
+            sf=bool(word & (1 << 7)),
+            of=bool(word & (1 << 11)),
+        )
+
+    def copy(self) -> "Flags":
+        return Flags(zf=self.zf, sf=self.sf, cf=self.cf, of=self.of)
+
+
+@dataclass
+class RegisterFile:
+    """Full architectural state of one PX hardware thread.
+
+    This is the unit captured per thread in a pinball ``.reg`` file and
+    restored by ELFie startup code (GPRs + flags via the stack, extended
+    state via XRSTOR, segment bases via WRFSBASE/WRGSBASE).
+    """
+
+    gpr: List[int] = field(default_factory=lambda: [0] * 16)
+    rip: int = 0
+    flags: Flags = field(default_factory=Flags)
+    fs_base: int = 0
+    gs_base: int = 0
+    xmm: List[float] = field(default_factory=lambda: [0.0] * XMM_COUNT)
+    mxcsr: int = 0x1F80  # default x86 MXCSR value
+
+    def __post_init__(self) -> None:
+        if len(self.gpr) != 16:
+            raise ValueError("RegisterFile requires exactly 16 GPRs")
+        if len(self.xmm) != XMM_COUNT:
+            raise ValueError("RegisterFile requires exactly %d xmm registers" % XMM_COUNT)
+
+    # -- named accessors -------------------------------------------------
+
+    def get(self, name: str) -> int:
+        """Read a GPR by its x86 name."""
+        return self.gpr[GPR_INDEX[name]]
+
+    def set(self, name: str, value: int) -> None:
+        """Write a GPR by its x86 name (value is truncated to 64 bits)."""
+        self.gpr[GPR_INDEX[name]] = value & MASK64
+
+    @property
+    def rsp(self) -> int:
+        return self.gpr[GPR_INDEX["rsp"]]
+
+    @rsp.setter
+    def rsp(self, value: int) -> None:
+        self.gpr[GPR_INDEX["rsp"]] = value & MASK64
+
+    @property
+    def rax(self) -> int:
+        return self.gpr[GPR_INDEX["rax"]]
+
+    @rax.setter
+    def rax(self, value: int) -> None:
+        self.gpr[GPR_INDEX["rax"]] = value & MASK64
+
+    # -- serialization ---------------------------------------------------
+
+    def xsave_bytes(self) -> bytes:
+        """Serialize the extended state as an XSAVE-area-like blob."""
+        parts = [struct.pack("<d", v) for v in self.xmm]
+        parts.append(struct.pack("<Q", self.mxcsr & MASK64))
+        return b"".join(parts)
+
+    def xrstor_bytes(self, blob: bytes) -> None:
+        """Restore the extended state from an XSAVE-area-like blob."""
+        if len(blob) != XSAVE_AREA_SIZE:
+            raise ValueError(
+                "xsave area must be %d bytes, got %d" % (XSAVE_AREA_SIZE, len(blob))
+            )
+        for i in range(XMM_COUNT):
+            (self.xmm[i],) = struct.unpack_from("<d", blob, i * 8)
+        (self.mxcsr,) = struct.unpack_from("<Q", blob, XMM_COUNT * 8)
+
+    def copy(self) -> "RegisterFile":
+        """Deep copy of the architectural state."""
+        return RegisterFile(
+            gpr=list(self.gpr),
+            rip=self.rip,
+            flags=self.flags.copy(),
+            fs_base=self.fs_base,
+            gs_base=self.gs_base,
+            xmm=list(self.xmm),
+            mxcsr=self.mxcsr,
+        )
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-serializable snapshot (used by the pinball .reg format)."""
+        return {
+            "gpr": {name: self.gpr[i] for i, name in enumerate(GPR_NAMES)},
+            "rip": self.rip,
+            "rflags": self.flags.to_word(),
+            "fs_base": self.fs_base,
+            "gs_base": self.gs_base,
+            "xmm": list(self.xmm),
+            "mxcsr": self.mxcsr,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "RegisterFile":
+        """Inverse of :meth:`to_dict`."""
+        gpr_map = data["gpr"]
+        regs = cls(
+            gpr=[int(gpr_map[name]) & MASK64 for name in GPR_NAMES],
+            rip=int(data["rip"]),
+            flags=Flags.from_word(int(data["rflags"])),
+            fs_base=int(data["fs_base"]),
+            gs_base=int(data["gs_base"]),
+            xmm=[float(v) for v in data["xmm"]],
+            mxcsr=int(data["mxcsr"]),
+        )
+        return regs
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, RegisterFile):
+            return NotImplemented
+        return self.to_dict() == other.to_dict()

@@ -1,0 +1,434 @@
+"""Simulated Linux kernel: system calls, memory management, threads.
+
+System-call numbers, argument registers (rdi, rsi, rdx, r10, r8, r9) and
+the negative-errno return convention follow the Linux x86-64 ABI, so PX
+programs read like real Linux assembly.  Every user-memory write a
+syscall performs is recorded in ``last_effects`` — the PinPlay logger
+captures these as the side-effect-injection log that constrained replay
+feeds back (paper §I-A).
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Tuple
+
+from repro.machine.memory import (
+    PAGE_SIZE,
+    PROT_RW,
+    page_align_up,
+)
+from repro.machine.vfs import FileDescriptorTable, FileSystem, VfsError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.machine.machine import Machine, Thread
+
+MASK64 = (1 << 64) - 1
+
+
+class NR:
+    """Linux x86-64 syscall numbers (subset), plus two PMU pseudo-calls."""
+
+    READ = 0
+    WRITE = 1
+    OPEN = 2
+    CLOSE = 3
+    LSEEK = 8
+    MMAP = 9
+    MPROTECT = 10
+    MUNMAP = 11
+    BRK = 12
+    DUP = 32
+    DUP2 = 33
+    GETPID = 39
+    CLONE = 56
+    EXIT = 60
+    GETTIMEOFDAY = 96
+    PRCTL = 157
+    ARCH_PRCTL = 158
+    TIME = 201
+    FUTEX = 202
+    EXIT_GROUP = 231
+    #: perf_event_open stand-in: arms a per-thread retired-instruction
+    #: counter with a threshold and an overflow-handler address.
+    PERF_EVENT_OPEN = 298
+    #: Pseudo-call to read a PMU counter (rdi selects the event).
+    PERF_READ = 334
+
+    NAMES: Dict[int, str] = {}
+
+
+NR.NAMES = {
+    value: name.lower()
+    for name, value in vars(NR).items()
+    if isinstance(value, int)
+}
+
+# errno values (returned as -errno).
+EPERM, ENOENT, EBADF, EAGAIN, ENOMEM, EACCES, EFAULT = 1, 2, 9, 11, 12, 13, 14
+EINVAL, EMFILE, ENOSYS = 22, 24, 38
+
+# arch_prctl codes.
+ARCH_SET_GS = 0x1001
+ARCH_SET_FS = 0x1002
+ARCH_GET_FS = 0x1003
+ARCH_GET_GS = 0x1004
+
+# prctl PR_SET_MM and sub-codes (heap layout restoration, paper §II-C2).
+PR_SET_MM = 35
+PR_SET_MM_START_BRK = 6
+PR_SET_MM_BRK = 7
+
+# mmap flags (subset).
+MAP_PRIVATE = 0x02
+MAP_FIXED = 0x10
+MAP_ANONYMOUS = 0x20
+
+# futex ops.
+FUTEX_WAIT = 0
+FUTEX_WAKE = 1
+FUTEX_PRIVATE_FLAG = 128
+
+# clone flags (only CLONE_VM threads are supported).
+CLONE_VM = 0x100
+
+# PMU event codes for PERF_EVENT_OPEN / PERF_READ.
+PERF_COUNT_INSTRUCTIONS = 0
+PERF_COUNT_CYCLES = 1
+PERF_COUNT_LLC_MISSES = 2
+PERF_COUNT_BRANCHES = 3
+
+
+class SyscallError(Exception):
+    """Internal kernel error (bad machine state, not a guest errno)."""
+
+
+class Kernel:
+    """System-call layer bound to one :class:`Machine`."""
+
+    #: Simulated CPU frequency for converting cycles to wall time.
+    CYCLES_PER_SEC = 1_000_000_000
+    #: Simulated boot wall-clock (seconds since epoch).
+    BOOT_EPOCH = 1_600_000_000
+
+    def __init__(self, machine: "Machine", fs: Optional[FileSystem] = None,
+                 root: str = "/") -> None:
+        self.machine = machine
+        self.fs = fs if fs is not None else FileSystem()
+        self.fdt = FileDescriptorTable(self.fs, root=root)
+        self.pid = 1000
+        self.brk_start = 0
+        self.brk_end = 0
+        #: User-memory writes performed by the most recent syscall,
+        #: as (address, bytes) pairs.  Consumed by the PinPlay logger.
+        self.last_effects: List[Tuple[int, bytes]] = []
+        #: Names of syscalls executed (for tests and sysstate analysis).
+        self.trace: List[str] = []
+        self._futex_waiters: Dict[int, List[int]] = {}
+        self._dispatch: Dict[int, Callable[["Thread"], int]] = {
+            NR.READ: self._sys_read,
+            NR.WRITE: self._sys_write,
+            NR.OPEN: self._sys_open,
+            NR.CLOSE: self._sys_close,
+            NR.LSEEK: self._sys_lseek,
+            NR.MMAP: self._sys_mmap,
+            NR.MPROTECT: self._sys_mprotect,
+            NR.MUNMAP: self._sys_munmap,
+            NR.BRK: self._sys_brk,
+            NR.DUP: self._sys_dup,
+            NR.DUP2: self._sys_dup2,
+            NR.GETPID: self._sys_getpid,
+            NR.CLONE: self._sys_clone,
+            NR.EXIT: self._sys_exit,
+            NR.GETTIMEOFDAY: self._sys_gettimeofday,
+            NR.PRCTL: self._sys_prctl,
+            NR.ARCH_PRCTL: self._sys_arch_prctl,
+            NR.TIME: self._sys_time,
+            NR.FUTEX: self._sys_futex,
+            NR.EXIT_GROUP: self._sys_exit_group,
+            NR.PERF_EVENT_OPEN: self._sys_perf_event_open,
+            NR.PERF_READ: self._sys_perf_read,
+        }
+
+    # -- helpers ----------------------------------------------------------
+
+    def _write_user(self, addr: int, data: bytes) -> None:
+        """Write guest memory, recording the effect for the logger."""
+        self.machine.mem.write(addr, data)
+        self.last_effects.append((addr, data))
+
+    def set_brk(self, start: int, end: Optional[int] = None) -> None:
+        """Initialize the heap break (called by the loader)."""
+        self.brk_start = start
+        self.brk_end = end if end is not None else start
+
+    def wall_time(self) -> Tuple[int, int]:
+        """Current simulated (seconds, microseconds)."""
+        cycles = self.machine.total_cycles()
+        seconds = self.BOOT_EPOCH + cycles // self.CYCLES_PER_SEC
+        usec = (cycles % self.CYCLES_PER_SEC) // 1000
+        return seconds, usec
+
+    # -- dispatch -----------------------------------------------------------
+
+    def dispatch(self, thread: "Thread") -> int:
+        """Execute the syscall selected by the thread's rax.
+
+        Sets rax to the result (or -errno) and returns it.
+        """
+        number = thread.regs.gpr[0]
+        self.last_effects = []
+        handler = self._dispatch.get(number)
+        self.trace.append(NR.NAMES.get(number, "nr_%d" % number))
+        if handler is None:
+            result = -ENOSYS
+        else:
+            try:
+                result = handler(thread)
+            except VfsError as exc:
+                result = -exc.errno
+        thread.regs.gpr[0] = result & MASK64
+        return result
+
+    # -- file I/O -----------------------------------------------------------
+
+    def _sys_read(self, thread: "Thread") -> int:
+        gpr = thread.regs.gpr
+        fd, buf, count = gpr[7], gpr[6], gpr[2]
+        data = self.fdt.read(fd, count)
+        if data:
+            self._write_user(buf, data)
+        return len(data)
+
+    def _sys_write(self, thread: "Thread") -> int:
+        gpr = thread.regs.gpr
+        fd, buf, count = gpr[7], gpr[6], gpr[2]
+        data = self.machine.mem.read(buf, count) if count else b""
+        return self.fdt.write(fd, data)
+
+    def _sys_open(self, thread: "Thread") -> int:
+        gpr = thread.regs.gpr
+        path = self.machine.mem.read_cstring(gpr[7]).decode("utf-8", "replace")
+        flags = gpr[6]
+        return self.fdt.open(path, flags)
+
+    def _sys_close(self, thread: "Thread") -> int:
+        self.fdt.close(thread.regs.gpr[7])
+        return 0
+
+    def _sys_lseek(self, thread: "Thread") -> int:
+        gpr = thread.regs.gpr
+        offset = gpr[6]
+        if offset & (1 << 63):
+            offset -= 1 << 64
+        return self.fdt.lseek(gpr[7], offset, gpr[2])
+
+    def _sys_dup(self, thread: "Thread") -> int:
+        return self.fdt.dup(thread.regs.gpr[7])
+
+    def _sys_dup2(self, thread: "Thread") -> int:
+        gpr = thread.regs.gpr
+        return self.fdt.dup2(gpr[7], gpr[6])
+
+    # -- memory --------------------------------------------------------------
+
+    def _sys_mmap(self, thread: "Thread") -> int:
+        gpr = thread.regs.gpr
+        addr, length, prot = gpr[7], gpr[6], gpr[2]
+        flags, fd, offset = gpr[10], gpr[8], gpr[9]
+        if length == 0:
+            return -EINVAL
+        if flags & MAP_FIXED and addr:
+            base = addr
+        elif addr and not self.machine.mem.any_mapped(addr, length):
+            base = addr
+        else:
+            base = self.machine.mem.find_free_range(length)
+        self.machine.mem.map(base, length, prot if prot else PROT_RW)
+        if not flags & MAP_ANONYMOUS:
+            fd_signed = fd if fd < (1 << 63) else fd - (1 << 64)
+            if fd_signed >= 0:
+                try:
+                    self.fdt.lseek(fd_signed, offset, 0)
+                    data = self.fdt.read(fd_signed, length)
+                except VfsError as exc:
+                    return -exc.errno
+                if data:
+                    self._write_user(base, data)
+        self.machine.cpu.invalidate_decode_cache()
+        return base
+
+    def _sys_mprotect(self, thread: "Thread") -> int:
+        gpr = thread.regs.gpr
+        try:
+            self.machine.mem.protect(gpr[7], gpr[6], gpr[2])
+        except Exception:
+            return -ENOMEM
+        self.machine.cpu.invalidate_decode_cache()
+        return 0
+
+    def _sys_munmap(self, thread: "Thread") -> int:
+        gpr = thread.regs.gpr
+        if gpr[6] == 0:
+            return -EINVAL
+        self.machine.mem.unmap(gpr[7], gpr[6])
+        self.machine.cpu.invalidate_decode_cache()
+        return 0
+
+    def _sys_brk(self, thread: "Thread") -> int:
+        request = thread.regs.gpr[7]
+        if request == 0 or request < self.brk_start:
+            return self.brk_end
+        new_end = request
+        if new_end > self.brk_end:
+            start = page_align_up(self.brk_end)
+            end = page_align_up(new_end)
+            if end > start:
+                self.machine.mem.map(start, end - start, PROT_RW)
+        self.brk_end = new_end
+        return self.brk_end
+
+    # -- process / thread ------------------------------------------------------
+
+    def _sys_getpid(self, thread: "Thread") -> int:
+        return self.pid
+
+    def _sys_clone(self, thread: "Thread") -> int:
+        """clone(flags, child_stack, fn).
+
+        Follows the glibc-wrapper convention the paper's startup code
+        relies on: the child starts executing at *fn* with rsp set to
+        *child_stack*; with fn == 0 the child resumes at the parent's
+        next instruction with rax == 0.
+        """
+        gpr = thread.regs.gpr
+        child_stack, fn = gpr[6], gpr[2]
+        child = self.machine.create_thread(parent=thread)
+        if child_stack:
+            child.regs.gpr[4] = child_stack
+        if fn:
+            child.regs.rip = fn
+        child.regs.gpr[0] = 0
+        return child.tid
+
+    def _sys_exit(self, thread: "Thread") -> int:
+        code = thread.regs.gpr[7] & 0xFF
+        thread.alive = False
+        thread.exit_code = code
+        self.machine.on_thread_exited(thread)
+        return 0
+
+    def _sys_exit_group(self, thread: "Thread") -> int:
+        code = thread.regs.gpr[7] & 0xFF
+        self.machine.exit_process(code)
+        return 0
+
+    # -- time ---------------------------------------------------------------
+
+    def _sys_gettimeofday(self, thread: "Thread") -> int:
+        tv_addr = thread.regs.gpr[7]
+        if tv_addr:
+            seconds, usec = self.wall_time()
+            self._write_user(tv_addr, struct.pack("<qq", seconds, usec))
+        return 0
+
+    def _sys_time(self, thread: "Thread") -> int:
+        seconds, _ = self.wall_time()
+        out_addr = thread.regs.gpr[7]
+        if out_addr:
+            self._write_user(out_addr, struct.pack("<q", seconds))
+        return seconds
+
+    # -- prctl family ---------------------------------------------------------
+
+    def _sys_prctl(self, thread: "Thread") -> int:
+        gpr = thread.regs.gpr
+        option, arg2, arg3 = gpr[7], gpr[6], gpr[2]
+        if option == PR_SET_MM:
+            if arg2 == PR_SET_MM_START_BRK:
+                self.brk_start = arg3
+                if self.brk_end < arg3:
+                    self.brk_end = arg3
+                return 0
+            if arg2 == PR_SET_MM_BRK:
+                self.brk_end = arg3
+                if self.brk_start == 0 or self.brk_start > arg3:
+                    self.brk_start = arg3
+                return 0
+            return -EINVAL
+        return -EINVAL
+
+    def _sys_arch_prctl(self, thread: "Thread") -> int:
+        gpr = thread.regs.gpr
+        code, addr = gpr[7], gpr[6]
+        if code == ARCH_SET_FS:
+            thread.regs.fs_base = addr
+            return 0
+        if code == ARCH_SET_GS:
+            thread.regs.gs_base = addr
+            return 0
+        if code == ARCH_GET_FS:
+            self._write_user(addr, struct.pack("<Q", thread.regs.fs_base))
+            return 0
+        if code == ARCH_GET_GS:
+            self._write_user(addr, struct.pack("<Q", thread.regs.gs_base))
+            return 0
+        return -EINVAL
+
+    # -- futex ------------------------------------------------------------------
+
+    def _sys_futex(self, thread: "Thread") -> int:
+        gpr = thread.regs.gpr
+        uaddr, op, val = gpr[7], gpr[6] & ~FUTEX_PRIVATE_FLAG, gpr[2]
+        if op == FUTEX_WAIT:
+            current = self.machine.mem.read_u32(uaddr)
+            if current != val & 0xFFFFFFFF:
+                return -EAGAIN
+            thread.blocked = True
+            thread.futex_addr = uaddr
+            self._futex_waiters.setdefault(uaddr, []).append(thread.tid)
+            return 0
+        if op == FUTEX_WAKE:
+            waiters = self._futex_waiters.get(uaddr, [])
+            woken = 0
+            while waiters and woken < val:
+                tid = waiters.pop(0)
+                waiter = self.machine.threads.get(tid)
+                if waiter is not None and waiter.blocked:
+                    waiter.blocked = False
+                    waiter.futex_addr = None
+                    woken += 1
+            return woken
+        return -ENOSYS
+
+    # -- PMU pseudo-calls ----------------------------------------------------------
+
+    def _sys_perf_event_open(self, thread: "Thread") -> int:
+        """Arm the calling thread's retired-instruction counter.
+
+        rdi: event (must be PERF_COUNT_INSTRUCTIONS), rsi: threshold,
+        rdx: overflow-handler address (0 = terminate thread at threshold).
+        """
+        gpr = thread.regs.gpr
+        event, threshold, handler = gpr[7], gpr[6], gpr[2]
+        if event != PERF_COUNT_INSTRUCTIONS:
+            return -EINVAL
+        if threshold == 0:
+            return -EINVAL
+        # +1: the arming syscall instruction itself retires after this
+        # handler returns; the threshold counts instructions *after* it.
+        thread.pmu_trap_at = thread.icount + 1 + threshold
+        thread.pmu_handler = handler if handler else None
+        return 0
+
+    def _sys_perf_read(self, thread: "Thread") -> int:
+        event = thread.regs.gpr[7]
+        if event == PERF_COUNT_INSTRUCTIONS:
+            return thread.icount
+        if event == PERF_COUNT_CYCLES:
+            return thread.cycles
+        if event == PERF_COUNT_LLC_MISSES:
+            return thread.llc_misses
+        if event == PERF_COUNT_BRANCHES:
+            return thread.branches
+        return -EINVAL

@@ -1,0 +1,197 @@
+"""The system ELF loader (execve analog) with stack randomization.
+
+Mirrors what the paper relies on from the Linux loader (§II-B3):
+
+1. parse the ELF file and map each PT_LOAD segment at its virtual
+   address,
+2. reserve and populate a stack for the new process (argc/argv/envp and
+   a minimal auxv), with the stack base *randomized* per run,
+3. set the entry point and start the initial thread.
+
+Because an ELFie carries the parent pinball's stack pages, a randomized
+new stack can collide with them.  When the collidable pages are mapped
+(allocatable stack sections), the loader can only reserve the shrunken
+remainder; if that is too small to hold the arguments and environment,
+the process is killed before any ELFie code executes —
+:class:`StackCollisionError`.  ELFies built with non-allocatable stack
+sections avoid this entirely.
+"""
+
+from __future__ import annotations
+
+import random
+import struct
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.elf.reader import ElfFile, ElfFormatError
+from repro.elf.structs import PT_LOAD, pflags_to_prot
+from repro.machine.machine import Machine, Thread
+from repro.machine.memory import PAGE_SIZE, PROT_RW, page_align_down, page_align_up
+
+#: Highest usable stack address (one guard page below the 47-bit top).
+STACK_TOP_LIMIT = 0x7FFF_FFFF_E000
+#: Default stack reservation: 16 pages (64 KiB).  Kept modest because an
+#: ELFie's startup code copies the whole captured stack range byte by
+#: byte; PX programs are hand-written assembly with shallow stacks.
+STACK_PAGES = 16
+#: The loader randomizes the stack top within this many pages.
+STACK_RANDOM_PAGES = 2048
+#: Minimum usable stack bytes below the argument block for startup code.
+MIN_STACK_BYTES = 4 * PAGE_SIZE
+
+AT_NULL = 0
+AT_PAGESZ = 6
+AT_ENTRY = 9
+AT_RANDOM = 25
+
+
+class LoaderError(Exception):
+    """The file could not be loaded (bad format, overlap, etc.)."""
+
+
+class StackCollisionError(LoaderError):
+    """The randomized stack collided with pre-mapped (pinball) pages and
+    the surviving sliver is too small — the process dies before running
+    any program code (paper Figure 4)."""
+
+
+@dataclass
+class LoadedImage:
+    """Result of loading an ELF executable into a machine."""
+
+    entry: int
+    stack_top: int
+    initial_rsp: int
+    main_thread: Thread
+    elf: ElfFile
+    symbols: Dict[str, int] = field(default_factory=dict)
+    stack_shrunk: bool = False
+
+
+def _randomized_stack_top(seed: int) -> int:
+    rng = random.Random(seed ^ 0x5AC4_B00C)
+    offset_pages = rng.randrange(STACK_RANDOM_PAGES)
+    return STACK_TOP_LIMIT - offset_pages * PAGE_SIZE
+
+
+def _build_stack(machine: Machine, stack_top: int, stack_bottom: int,
+                 argv: Sequence[str], envp: Sequence[str],
+                 entry: int, seed: int) -> int:
+    """Populate argc/argv/envp/auxv; returns the initial rsp."""
+    mem = machine.mem
+    cursor = stack_top
+
+    def push_bytes(data: bytes) -> int:
+        nonlocal cursor
+        cursor -= len(data)
+        mem.write(cursor, data)
+        return cursor
+
+    # Strings (highest addresses), then pointer arrays below them.
+    env_ptrs = [push_bytes(s.encode("utf-8") + b"\x00") for s in envp]
+    arg_ptrs = [push_bytes(s.encode("utf-8") + b"\x00") for s in argv]
+    random_bytes = bytes(random.Random(seed).randrange(256) for _ in range(16))
+    at_random = push_bytes(random_bytes)
+    cursor &= ~0xF  # 16-byte alignment for the vectors
+
+    auxv = [
+        (AT_PAGESZ, PAGE_SIZE),
+        (AT_ENTRY, entry),
+        (AT_RANDOM, at_random),
+        (AT_NULL, 0),
+    ]
+    block = bytearray()
+    block += struct.pack("<Q", len(argv))
+    for ptr in arg_ptrs:
+        block += struct.pack("<Q", ptr)
+    block += struct.pack("<Q", 0)
+    for ptr in env_ptrs:
+        block += struct.pack("<Q", ptr)
+    block += struct.pack("<Q", 0)
+    for key, value in auxv:
+        block += struct.pack("<QQ", key, value)
+    cursor -= len(block)
+    cursor &= ~0xF
+    if cursor - MIN_STACK_BYTES < stack_bottom:
+        raise StackCollisionError(
+            "stack too small after collision: %d usable bytes below "
+            "argument block" % (cursor - stack_bottom)
+        )
+    mem.write(cursor, bytes(block))
+    return cursor
+
+
+def load_elf(machine: Machine, image: bytes,
+             argv: Optional[Sequence[str]] = None,
+             envp: Optional[Sequence[str]] = None,
+             stack_seed: Optional[int] = None,
+             stack_pages: int = STACK_PAGES) -> LoadedImage:
+    """Load an ELF executable into *machine* and create its main thread.
+
+    *stack_seed* drives stack randomization; it defaults to the
+    machine's scheduler seed so one seed reproduces one run exactly.
+    """
+    argv = list(argv) if argv is not None else ["a.out"]
+    envp = list(envp) if envp is not None else ["PATH=/usr/bin"]
+    if stack_seed is None:
+        stack_seed = machine.scheduler.seed
+    try:
+        elf = ElfFile(image)
+    except ElfFormatError as exc:
+        raise LoaderError(str(exc)) from exc
+    if not elf.segments:
+        raise LoaderError("no loadable segments (not an executable?)")
+
+    max_end = 0
+    for segment in elf.segments:
+        if segment.p_type != PT_LOAD:
+            continue
+        if segment.p_memsz == 0:
+            continue
+        prot = pflags_to_prot(segment.p_flags)
+        base = page_align_down(segment.p_vaddr)
+        end = page_align_up(segment.p_vaddr + segment.p_memsz)
+        machine.mem.map(base, end - base, prot)
+        data = elf.segment_data(segment)
+        machine.mem._write_raw(segment.p_vaddr, data)
+        max_end = max(max_end, end)
+
+    # Stack reservation with randomization and collision shrink.
+    stack_top = _randomized_stack_top(stack_seed)
+    desired_bottom = stack_top - stack_pages * PAGE_SIZE
+    bottom = desired_bottom
+    shrunk = False
+    page = stack_top - PAGE_SIZE
+    while page >= desired_bottom:
+        if machine.mem.is_mapped(page):
+            bottom = page + PAGE_SIZE
+            shrunk = True
+            break
+        page -= PAGE_SIZE
+    if machine.mem.is_mapped(stack_top - PAGE_SIZE):
+        raise StackCollisionError(
+            "stack top page 0x%x already mapped by a loaded segment"
+            % (stack_top - PAGE_SIZE)
+        )
+    machine.mem.map(bottom, stack_top - bottom, PROT_RW)
+
+    rsp = _build_stack(machine, stack_top, bottom, argv, envp,
+                       elf.entry, stack_seed)
+
+    # Heap break goes just past the highest mapped segment.
+    machine.kernel.set_brk(max_end + PAGE_SIZE)
+
+    thread = machine.create_thread()
+    thread.regs.rip = elf.entry
+    thread.regs.rsp = rsp
+
+    return LoadedImage(
+        entry=elf.entry,
+        stack_top=stack_top,
+        initial_rsp=rsp,
+        main_thread=thread,
+        elf=elf,
+        symbols=elf.symbol_map(),
+        stack_shrunk=shrunk,
+    )

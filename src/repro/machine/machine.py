@@ -1,0 +1,286 @@
+"""The :class:`Machine` facade: CPU + memory + kernel + scheduler + tools.
+
+A Machine is one simulated computer running one process.  The paper's
+workflows map onto it directly:
+
+- a *native run* is ``Machine.run()`` with no tools attached,
+- a *Pin run* attaches :class:`~repro.machine.tool.Tool` instances
+  (logger, BBV profiler, simulator front-end),
+- *constrained replay* drives the scheduler from a recorded slice log,
+- an *ELFie run* loads an ELFie with the ELF loader and free-runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from repro.isa.registers import RegisterFile
+from repro.machine.cpu import Cpu, CpuFault, NO_TRAP
+from repro.machine.kernel import Kernel
+from repro.machine.memory import AddressSpace, PageFault
+from repro.machine.perf import PMU
+from repro.machine.scheduler import Scheduler, ScheduleSlice
+from repro.machine.tool import Tool
+from repro.machine.vfs import FileSystem
+
+SIGSEGV = 11
+
+
+@dataclass
+class Thread:
+    """One hardware thread: architectural state plus counters."""
+
+    tid: int
+    regs: RegisterFile = field(default_factory=RegisterFile)
+    alive: bool = True
+    blocked: bool = False
+    futex_addr: Optional[int] = None
+    exit_code: int = 0
+    #: Retired-instruction count (the canonical PMU instructions counter).
+    icount: int = 0
+    #: Cycles accrued by the hardware timing model.
+    cycles: int = 0
+    llc_misses: int = 0
+    branches: int = 0
+    spin_pauses: int = 0
+    #: Absolute icount at which a PMU overflow trap fires (NO_TRAP = off).
+    pmu_trap_at: int = NO_TRAP
+    pmu_handler: Optional[int] = None
+    #: True when the next instruction begins a basic block.
+    new_block: bool = True
+
+    @property
+    def runnable(self) -> bool:
+        return self.alive and not self.blocked
+
+
+@dataclass
+class ExitStatus:
+    """How a run ended."""
+
+    kind: str                 # "exit" | "signal" | "stopped"
+    code: int = 0             # process exit code (kind == "exit")
+    signal: int = 0           # delivering signal (kind == "signal")
+    detail: str = ""          # human-readable cause
+    fault_address: Optional[int] = None
+
+    @property
+    def graceful(self) -> bool:
+        """True for a normal exit — the paper's "graceful exit"."""
+        return self.kind == "exit"
+
+
+class Machine:
+    """A simulated computer executing one PX process."""
+
+    def __init__(self, seed: int = 0, fs: Optional[FileSystem] = None,
+                 root: str = "/", base_quantum: int = 64) -> None:
+        self.mem = AddressSpace()
+        self.cpu = Cpu(self)
+        self.kernel = Kernel(self, fs=fs, root=root)
+        self.scheduler = Scheduler(seed=seed, base_quantum=base_quantum)
+        self.pmu = PMU(self)
+        self.threads: Dict[int, Thread] = {}
+        self._next_tid = 0
+        self.exit_status: Optional[ExitStatus] = None
+        self.tools: List[Tool] = []
+        self.instr_tools: List[Tool] = []
+        self.block_tools: List[Tool] = []
+        self._syscall_tools: List[Tool] = []
+        #: Global retired-instruction counter across all threads.
+        self.executed_total = 0
+
+    # -- setup ------------------------------------------------------------
+
+    def create_thread(self, parent: Optional[Thread] = None,
+                      regs: Optional[RegisterFile] = None,
+                      tid: Optional[int] = None) -> Thread:
+        """Create a new thread (the clone(2) backend).
+
+        An explicit *tid* (used when reconstructing pinball state) must
+        be unused; the sequential counter skips past it.
+        """
+        if tid is None:
+            tid = self._next_tid
+        elif tid in self.threads:
+            raise ValueError("thread id %d already exists" % tid)
+        self._next_tid = max(self._next_tid, tid + 1)
+        if regs is not None:
+            initial = regs.copy()
+        elif parent is not None:
+            initial = parent.regs.copy()
+        else:
+            initial = RegisterFile()
+        thread = Thread(tid=tid, regs=initial)
+        self.threads[tid] = thread
+        for tool in self.tools:
+            tool.on_thread_start(self, thread)
+        return thread
+
+    def attach(self, tool: Tool) -> None:
+        """Attach an instrumentation tool (Pin-style)."""
+        self.tools.append(tool)
+        self._rebuild_tool_lists()
+        tool.on_attach(self)
+
+    def detach(self, tool: Tool) -> None:
+        """Detach a previously attached tool."""
+        self.tools.remove(tool)
+        self._rebuild_tool_lists()
+
+    def _rebuild_tool_lists(self) -> None:
+        self.instr_tools = [t for t in self.tools if t.wants_instructions]
+        self.block_tools = [t for t in self.tools if t.wants_blocks]
+        self._syscall_tools = list(self.tools)
+        mem_tools = [t for t in self.tools if t.wants_memory]
+        if mem_tools:
+            def read_hook(thread: Thread, addr: int, size: int) -> None:
+                for tool in mem_tools:
+                    tool.on_memory_read(self, thread, addr, size)
+
+            def write_hook(thread: Thread, addr: int, size: int) -> None:
+                for tool in mem_tools:
+                    tool.on_memory_write(self, thread, addr, size)
+
+            self.cpu.read_hook = read_hook
+            self.cpu.write_hook = write_hook
+        else:
+            self.cpu.read_hook = None
+            self.cpu.write_hook = None
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def on_thread_exited(self, thread: Thread) -> None:
+        """Bookkeeping when a thread dies (exit(2) or PMU terminate)."""
+        for tool in self.tools:
+            tool.on_thread_exit(self, thread)
+        if all(not t.alive for t in self.threads.values()):
+            if self.exit_status is None:
+                self.exit_status = ExitStatus(
+                    kind="exit", code=thread.exit_code,
+                    detail="last thread exited",
+                )
+
+    def exit_process(self, code: int) -> None:
+        """exit_group(2): terminate every thread."""
+        for thread in self.threads.values():
+            if thread.alive:
+                thread.alive = False
+                thread.exit_code = code
+        self.exit_status = ExitStatus(kind="exit", code=code,
+                                      detail="exit_group")
+
+    def deliver_fault(self, thread: Thread, signal: int, detail: str,
+                      fault_address: Optional[int] = None) -> None:
+        """Kill the process with a signal (SIGSEGV/SIGFPE/SIGILL)."""
+        for t in self.threads.values():
+            t.alive = False
+        self.exit_status = ExitStatus(
+            kind="signal", signal=signal, detail=detail,
+            fault_address=fault_address,
+        )
+
+    def request_stop(self, reason: str) -> None:
+        """Ask the run loop to stop as soon as possible (tool API)."""
+        self.cpu.stop_flag = reason
+
+    # -- syscall plumbing -----------------------------------------------------
+
+    def do_syscall(self, thread: Thread) -> None:
+        """Run one syscall through tool interception and the kernel."""
+        number = thread.regs.gpr[0]
+        suppressed = False
+        for tool in self._syscall_tools:
+            if tool.on_syscall_before(self, thread, number):
+                suppressed = True
+        if suppressed:
+            return
+        result = self.kernel.dispatch(thread)
+        for tool in self._syscall_tools:
+            tool.on_syscall_after(self, thread, number, result)
+
+    # -- queries -----------------------------------------------------------
+
+    def total_icount(self) -> int:
+        return sum(t.icount for t in self.threads.values())
+
+    def total_cycles(self) -> int:
+        return sum(t.cycles for t in self.threads.values())
+
+    def max_thread_cycles(self) -> int:
+        """Wall-clock proxy: the longest-running thread's cycles."""
+        if not self.threads:
+            return 0
+        return max(t.cycles for t in self.threads.values())
+
+    def runnable_tids(self) -> List[int]:
+        return [t.tid for t in self.threads.values() if t.runnable]
+
+    @property
+    def running(self) -> bool:
+        return self.exit_status is None and any(
+            t.runnable for t in self.threads.values()
+        )
+
+    def stdout(self) -> bytes:
+        return bytes(self.kernel.fdt.stdout)
+
+    def stderr(self) -> bytes:
+        return bytes(self.kernel.fdt.stderr)
+
+    # -- run loop ------------------------------------------------------------
+
+    def run(self, max_instructions: Optional[int] = None) -> ExitStatus:
+        """Run until process exit, a fault, a stop request, or the
+        instruction budget is exhausted.
+
+        Returns the final :class:`ExitStatus`; a budget stop or tool stop
+        yields ``kind == "stopped"``.
+        """
+        self.cpu.stop_flag = None
+        while self.exit_status is None:
+            runnable = self.runnable_tids()
+            if not runnable:
+                if any(t.blocked for t in self.threads.values()):
+                    self.deliver_fault(
+                        next(iter(self.threads.values())), SIGSEGV,
+                        "deadlock: all threads blocked on futexes",
+                    )
+                break
+            slice_ = self.scheduler.pick(runnable)
+            quantum = slice_.quantum
+            if max_instructions is not None:
+                remaining = max_instructions - self.executed_total
+                if remaining <= 0:
+                    return self._stopped("instruction budget exhausted")
+                quantum = min(quantum, remaining)
+            thread = self.threads[slice_.tid]
+            try:
+                executed = self.cpu.run_thread(thread, quantum)
+            except PageFault as exc:
+                self.deliver_fault(thread, SIGSEGV, str(exc),
+                                   fault_address=exc.address)
+                break
+            except CpuFault as exc:
+                self.deliver_fault(thread, exc.signal, str(exc))
+                break
+            self.executed_total += executed
+            if executed != slice_.quantum:
+                self.scheduler.note_partial(slice_, executed)
+            if self.cpu.stop_flag is not None:
+                return self._stopped(self.cpu.stop_flag)
+            if (max_instructions is not None
+                    and self.executed_total >= max_instructions
+                    and self.exit_status is None):
+                return self._stopped("instruction budget exhausted")
+        if self.exit_status is None:
+            self.exit_status = ExitStatus(kind="exit", code=0,
+                                          detail="no runnable threads")
+        return self.exit_status
+
+    def _stopped(self, reason: str) -> ExitStatus:
+        status = ExitStatus(kind="stopped", detail=reason)
+        # A stop is resumable: exit_status stays None so run() can continue.
+        self.cpu.stop_flag = None
+        return status

@@ -1,0 +1,115 @@
+"""Preemptive round-robin thread scheduler with seeded quantum jitter.
+
+The scheduler's random seed is the platform's source of run-to-run
+variation: two native runs (or two ELFie runs) with different seeds can
+interleave threads differently, which is exactly the non-determinism the
+paper attributes to ELFies.  The PinPlay logger records the realized
+schedule as a sequence of :class:`ScheduleSlice` records, and the
+replayer feeds them back through :class:`Scheduler.replay` to get
+constrained (deterministic) replay.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Sequence
+
+
+@dataclass(frozen=True)
+class ScheduleSlice:
+    """One scheduling decision: run thread *tid* for *quantum* instructions."""
+
+    tid: int
+    quantum: int
+
+
+class Scheduler:
+    """Chooses which runnable thread executes next and for how long.
+
+    In free-run mode, threads are rotated round-robin with a quantum
+    jittered around ``base_quantum`` by a seeded RNG.  In replay mode, a
+    recorded slice log is consumed instead, reproducing the captured
+    interleaving exactly.
+    """
+
+    def __init__(self, seed: int = 0, base_quantum: int = 64,
+                 jitter: float = 0.5) -> None:
+        if base_quantum <= 0:
+            raise ValueError("base_quantum must be positive")
+        if not 0.0 <= jitter < 1.0:
+            raise ValueError("jitter must be in [0, 1)")
+        self.seed = seed
+        self.base_quantum = base_quantum
+        self.jitter = jitter
+        self._rng = random.Random(seed)
+        self._next_index = 0
+        self._replay_log: Optional[List[ScheduleSlice]] = None
+        self._replay_pos = 0
+        self.trace: List[ScheduleSlice] = []
+        self.record = False
+
+    def replay(self, log: Sequence[ScheduleSlice]) -> None:
+        """Switch to replay mode, consuming *log* slice by slice."""
+        self._replay_log = list(log)
+        self._replay_pos = 0
+
+    @property
+    def replaying(self) -> bool:
+        return self._replay_log is not None
+
+    @property
+    def replay_exhausted(self) -> bool:
+        """True when a replay log has been fully consumed."""
+        return (self._replay_log is not None
+                and self._replay_pos >= len(self._replay_log))
+
+    def pick(self, runnable_tids: Iterable[int]) -> ScheduleSlice:
+        """Choose the next thread and quantum from *runnable_tids*.
+
+        Raises ``RuntimeError`` if no thread is runnable (caller must
+        detect deadlock) or if a replay log names a non-runnable thread.
+        """
+        tids = sorted(runnable_tids)
+        if not tids:
+            raise RuntimeError("no runnable threads (deadlock)")
+        if self._replay_log is not None:
+            if self._replay_pos >= len(self._replay_log):
+                # Log exhausted: fall through to free-run (used by
+                # injection-less replay past the recorded region).
+                pass
+            else:
+                entry = self._replay_log[self._replay_pos]
+                self._replay_pos += 1
+                if entry.tid not in tids:
+                    raise RuntimeError(
+                        "replay schedule names thread %d which is not runnable"
+                        % entry.tid
+                    )
+                if self.record:
+                    self.trace.append(entry)
+                return entry
+        # round-robin with jittered quantum
+        candidates = [tid for tid in tids if tid >= self._next_index]
+        tid = candidates[0] if candidates else tids[0]
+        self._next_index = tid + 1
+        if self.jitter:
+            spread = int(self.base_quantum * self.jitter)
+            quantum = self.base_quantum + self._rng.randint(-spread, spread)
+        else:
+            quantum = self.base_quantum
+        quantum = max(1, quantum)
+        chosen = ScheduleSlice(tid=tid, quantum=quantum)
+        if self.record:
+            self.trace.append(chosen)
+        return chosen
+
+    def note_partial(self, slice_: ScheduleSlice, executed: int) -> None:
+        """Adjust the recorded trace when a slice ended early.
+
+        A thread can exit, block, or hit a region boundary before its
+        quantum expires; the recorded schedule must reflect the executed
+        length so replay stays aligned.
+        """
+        if self.record and self.trace and self.trace[-1] is slice_:
+            self.trace[-1] = ScheduleSlice(tid=slice_.tid, quantum=executed)

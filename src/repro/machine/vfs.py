@@ -1,0 +1,254 @@
+"""In-memory filesystem and per-process file-descriptor table.
+
+This is the OS-resource substrate behind the paper's "system call
+handling challenge": a file opened *before* a captured region exists only
+as a file descriptor, which a bare ELFie run cannot reproduce.  The
+``pinball_sysstate`` tool reconstructs proxy files (``FD_n``) that a
+generic ``elfie_on_start`` callback re-opens and ``dup2``s onto the right
+descriptor numbers.
+"""
+
+from __future__ import annotations
+
+import posixpath
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+# Linux open(2) flag subset.
+O_RDONLY = 0o0
+O_WRONLY = 0o1
+O_RDWR = 0o2
+O_CREAT = 0o100
+O_TRUNC = 0o1000
+O_APPEND = 0o2000
+
+SEEK_SET = 0
+SEEK_CUR = 1
+SEEK_END = 2
+
+# errno values returned as -errno from syscalls.
+EBADF = 9
+ENOENT = 2
+EINVAL = 22
+EACCES = 13
+EMFILE = 24
+
+
+class VfsError(Exception):
+    """Filesystem-level error carrying an errno."""
+
+    def __init__(self, errno: int, message: str) -> None:
+        self.errno = errno
+        super().__init__(message)
+
+
+@dataclass
+class _Inode:
+    """A regular file's contents."""
+
+    data: bytearray = field(default_factory=bytearray)
+
+
+class FileSystem:
+    """A flat, path-keyed in-memory filesystem.
+
+    Paths are normalized POSIX paths.  A ``root`` prefix supports
+    chroot-style execution of ELFies inside a sysstate working directory
+    (paper §II-C2).
+    """
+
+    def __init__(self) -> None:
+        self._inodes: Dict[str, _Inode] = {}
+
+    @staticmethod
+    def normalize(path: str) -> str:
+        if not path.startswith("/"):
+            path = "/" + path
+        return posixpath.normpath(path)
+
+    def create(self, path: str, data: bytes = b"") -> None:
+        """Create (or replace) a file with the given contents."""
+        self._inodes[self.normalize(path)] = _Inode(bytearray(data))
+
+    def exists(self, path: str) -> bool:
+        return self.normalize(path) in self._inodes
+
+    def contents(self, path: str) -> bytes:
+        """Full contents of a file."""
+        inode = self._inodes.get(self.normalize(path))
+        if inode is None:
+            raise VfsError(ENOENT, "no such file: %s" % path)
+        return bytes(inode.data)
+
+    def remove(self, path: str) -> None:
+        if self._inodes.pop(self.normalize(path), None) is None:
+            raise VfsError(ENOENT, "no such file: %s" % path)
+
+    def paths(self) -> List[str]:
+        return sorted(self._inodes)
+
+    def _inode(self, path: str) -> _Inode:
+        inode = self._inodes.get(self.normalize(path))
+        if inode is None:
+            raise VfsError(ENOENT, "no such file: %s" % path)
+        return inode
+
+    def copy_from(self, other: "FileSystem") -> None:
+        """Copy every file from *other* into this filesystem."""
+        for path in other.paths():
+            self.create(path, other.contents(path))
+
+
+@dataclass
+class OpenFile:
+    """One open-file description (shared by dup'ed descriptors)."""
+
+    path: str
+    flags: int
+    offset: int = 0
+    inode: Optional[_Inode] = None
+    is_console: bool = False
+
+
+class FileDescriptorTable:
+    """Per-process descriptor table over a :class:`FileSystem`.
+
+    Descriptors 0/1/2 are wired to console buffers so programs can
+    ``write`` observable output.  The ``root`` argument re-bases all
+    relative path lookups, mimicking running inside a sysstate workdir
+    (or ``chroot``).
+    """
+
+    MAX_FDS = 1024
+
+    def __init__(self, fs: FileSystem, root: str = "/") -> None:
+        self.fs = fs
+        self.root = root
+        self._fds: Dict[int, OpenFile] = {}
+        self.stdout = bytearray()
+        self.stderr = bytearray()
+        self.stdin = bytearray()
+        self._fds[0] = OpenFile(path="<stdin>", flags=O_RDONLY, is_console=True)
+        self._fds[1] = OpenFile(path="<stdout>", flags=O_WRONLY, is_console=True)
+        self._fds[2] = OpenFile(path="<stderr>", flags=O_WRONLY, is_console=True)
+
+    def resolve(self, path: str) -> str:
+        """Resolve *path* against the table's root directory."""
+        if self.root != "/" and not path.startswith("/"):
+            return self.fs.normalize(posixpath.join(self.root, path))
+        if self.root != "/":
+            # chroot semantics: absolute paths are re-based under root
+            return self.fs.normalize(self.root + "/" + path.lstrip("/"))
+        return self.fs.normalize(path)
+
+    def _alloc_fd(self, lowest: int = 3) -> int:
+        for fd in range(lowest, self.MAX_FDS):
+            if fd not in self._fds:
+                return fd
+        raise VfsError(EMFILE, "file descriptor table full")
+
+    # -- syscall backends ---------------------------------------------------
+
+    def open(self, path: str, flags: int) -> int:
+        """open(2): returns a new descriptor or raises VfsError."""
+        resolved = self.resolve(path)
+        if not self.fs.exists(resolved):
+            if not flags & O_CREAT:
+                raise VfsError(ENOENT, "no such file: %s" % path)
+            self.fs.create(resolved)
+        inode = self.fs._inode(resolved)
+        if flags & O_TRUNC and flags & (O_WRONLY | O_RDWR):
+            del inode.data[:]
+        fd = self._alloc_fd()
+        offset = len(inode.data) if flags & O_APPEND else 0
+        self._fds[fd] = OpenFile(path=resolved, flags=flags, offset=offset,
+                                 inode=inode)
+        return fd
+
+    def close(self, fd: int) -> None:
+        if fd not in self._fds:
+            raise VfsError(EBADF, "bad file descriptor %d" % fd)
+        del self._fds[fd]
+
+    def _get(self, fd: int) -> OpenFile:
+        open_file = self._fds.get(fd)
+        if open_file is None:
+            raise VfsError(EBADF, "bad file descriptor %d" % fd)
+        return open_file
+
+    def read(self, fd: int, count: int) -> bytes:
+        open_file = self._get(fd)
+        if open_file.is_console:
+            if fd != 0:
+                raise VfsError(EBADF, "fd %d not open for reading" % fd)
+            data = bytes(self.stdin[:count])
+            del self.stdin[:count]
+            return data
+        if open_file.flags & O_WRONLY:
+            raise VfsError(EBADF, "fd %d not open for reading" % fd)
+        assert open_file.inode is not None
+        data = bytes(open_file.inode.data[open_file.offset : open_file.offset + count])
+        open_file.offset += len(data)
+        return data
+
+    def write(self, fd: int, data: bytes) -> int:
+        open_file = self._get(fd)
+        if open_file.is_console:
+            if fd == 2:
+                self.stderr += data
+            else:
+                self.stdout += data
+            return len(data)
+        if not open_file.flags & (O_WRONLY | O_RDWR):
+            raise VfsError(EBADF, "fd %d not open for writing" % fd)
+        assert open_file.inode is not None
+        inode = open_file.inode
+        end = open_file.offset + len(data)
+        if end > len(inode.data):
+            inode.data.extend(b"\x00" * (end - len(inode.data)))
+        inode.data[open_file.offset : end] = data
+        open_file.offset = end
+        return len(data)
+
+    def lseek(self, fd: int, offset: int, whence: int) -> int:
+        open_file = self._get(fd)
+        if open_file.is_console:
+            raise VfsError(EINVAL, "cannot seek a console fd")
+        assert open_file.inode is not None
+        if whence == SEEK_SET:
+            new = offset
+        elif whence == SEEK_CUR:
+            new = open_file.offset + offset
+        elif whence == SEEK_END:
+            new = len(open_file.inode.data) + offset
+        else:
+            raise VfsError(EINVAL, "bad whence %d" % whence)
+        if new < 0:
+            raise VfsError(EINVAL, "negative seek offset")
+        open_file.offset = new
+        return new
+
+    def dup(self, fd: int) -> int:
+        open_file = self._get(fd)
+        new_fd = self._alloc_fd()
+        self._fds[new_fd] = open_file
+        return new_fd
+
+    def dup2(self, fd: int, new_fd: int) -> int:
+        open_file = self._get(fd)
+        if not 0 <= new_fd < self.MAX_FDS:
+            raise VfsError(EBADF, "bad target descriptor %d" % new_fd)
+        self._fds[new_fd] = open_file
+        return new_fd
+
+    def open_fds(self) -> List[int]:
+        """Sorted list of open descriptor numbers."""
+        return sorted(self._fds)
+
+    def fd_path(self, fd: int) -> str:
+        """Path behind a descriptor (for sysstate extraction)."""
+        return self._get(fd).path
+
+    def fd_offset(self, fd: int) -> int:
+        open_file = self._get(fd)
+        return open_file.offset

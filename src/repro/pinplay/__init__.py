@@ -1,0 +1,37 @@
+"""PinPlay substrate: region capture (logger), pinballs, constrained replay.
+
+Mirrors the PinPlay toolkit the paper builds on (§II-A):
+
+- :mod:`repro.pinplay.regions` -- region-of-interest specifications,
+- :mod:`repro.pinplay.logger` -- the logger tool that captures a region
+  of a program's execution into a pinball, with the paper's new fat
+  switches (``-log:whole_image``, ``-log:pages_early``, ``-log:fat``),
+- :mod:`repro.pinplay.pinball` -- the on-disk pinball format
+  (``.text`` memory image, per-thread ``.reg``, ``.sel`` side-effect
+  log, ``.race`` thread-order log, ``.result`` metadata),
+- :mod:`repro.pinplay.replayer` -- constrained replay with system-call
+  injection and thread-order enforcement, plus the paper's new
+  ``-replay:injection 0`` mode that mimics an ELFie run under Pin,
+- :mod:`repro.pinplay.sysstate` -- the ``pinball_sysstate`` tool that
+  extracts file and heap OS state for ELFie re-execution (§II-C2).
+"""
+
+from repro.pinplay.regions import RegionSpec
+from repro.pinplay.pinball import Pinball, SyscallRecord, ThreadRecord
+from repro.pinplay.logger import LogOptions, log_region, log_regions
+from repro.pinplay.replayer import ReplayResult, replay
+from repro.pinplay.sysstate import SysState, extract_sysstate
+
+__all__ = [
+    "RegionSpec",
+    "Pinball",
+    "SyscallRecord",
+    "ThreadRecord",
+    "LogOptions",
+    "log_region",
+    "log_regions",
+    "ReplayResult",
+    "replay",
+    "SysState",
+    "extract_sysstate",
+]

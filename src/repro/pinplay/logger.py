@@ -1,0 +1,269 @@
+"""The PinPlay logger: capture a region of execution into a pinball.
+
+The logger runs the test program on a machine, fast-forwards to the
+region start, snapshots the architectural state, then records during the
+region: every system call's results and memory side-effects, the
+realized thread schedule, and (in lazy mode) the set of touched pages.
+
+Fat-pinball switches (paper §II-A):
+
+``whole_image``
+    Record *all* mapped pages, including sections never touched in the
+    region (``-log:whole_image``).
+``pages_early``
+    Put page contents in the initial memory image rather than as lazy
+    injection records (``-log:pages_early``).  In this reproduction
+    page contents are always from region start; the switch controls
+    whether untouched pages survive into the ``.text`` file.
+``fat``
+    Both of the above (``-log:fat``).  ELFies must be generated from
+    fat pinballs; an ELFie from a lazy pinball is missing pages and
+    usually dies on its first divergence.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.machine.kernel import NR
+from repro.machine.loader import load_elf
+from repro.machine.machine import Machine, Thread
+from repro.machine.memory import PAGE_SHIFT
+from repro.machine.tool import Tool
+from repro.machine.vfs import FileSystem
+from repro.pinplay.pinball import Pinball, SyscallRecord, ThreadRecord
+from repro.pinplay.regions import RegionSpec
+
+
+@dataclass
+class LogOptions:
+    """Logger configuration (the -log:* switches)."""
+
+    name: str = "pinball"
+    fat: bool = True
+    whole_image: Optional[bool] = None
+    pages_early: Optional[bool] = None
+
+    def resolved(self) -> Tuple[bool, bool]:
+        """Effective (whole_image, pages_early) after -log:fat."""
+        whole = self.whole_image if self.whole_image is not None else self.fat
+        early = self.pages_early if self.pages_early is not None else self.fat
+        return whole, early
+
+
+class _RecordingTool(Tool):
+    """Tool attached for the duration of the region capture."""
+
+    wants_instructions = False
+
+    def __init__(self, lazy: bool) -> None:
+        self.lazy = lazy
+        self.wants_instructions = lazy  # code-page tracking needs the PC
+        self.syscalls: List[SyscallRecord] = []
+        self.touched_pages: Set[int] = set()
+        self._pending: Dict[int, Tuple[Tuple[int, ...], Optional[str]]] = {}
+
+    def on_instruction(self, machine, thread, pc, insn) -> None:
+        # lazy mode: code pages are "touched" by fetching from them
+        self.touched_pages.add(pc >> PAGE_SHIFT)
+
+    def on_syscall_before(self, machine, thread, number):
+        gpr = thread.regs.gpr
+        args = (gpr[7], gpr[6], gpr[2], gpr[10], gpr[8], gpr[9])
+        path = None
+        if number == NR.OPEN:
+            try:
+                path = machine.mem.read_cstring(gpr[7]).decode("utf-8", "replace")
+            except Exception:
+                path = None
+        self._pending[thread.tid] = (args, path)
+        return None
+
+    def on_syscall_after(self, machine, thread, number, result) -> None:
+        args, path = self._pending.pop(thread.tid, ((0,) * 6, None))
+        self.syscalls.append(
+            SyscallRecord(
+                tid=thread.tid,
+                number=number,
+                args=args,
+                result=result,
+                writes=list(machine.kernel.last_effects),
+                path=path,
+            )
+        )
+
+
+def log_regions(image: bytes, regions: Sequence[RegionSpec],
+                seed: int = 0,
+                argv: Optional[Sequence[str]] = None,
+                fs: Optional[FileSystem] = None,
+                fat: bool = True) -> Dict[str, Pinball]:
+    """Capture several regions of one program in a single run.
+
+    Functionally equivalent to calling :func:`log_region` once per
+    region (each capture window is ``[warmup_start, end)``), but the
+    program executes only once: the recorder stays attached and the
+    per-region state snapshots are taken as the run crosses each
+    boundary.  Capture windows must not overlap.  Regions whose window
+    starts beyond program exit are skipped.  Only fat pinballs are
+    supported (the single-pass recorder does not track per-region page
+    touches).
+    """
+    if not fat:
+        raise ValueError("log_regions only produces fat pinballs")
+    ordered = sorted(regions, key=lambda r: r.warmup_start)
+    for earlier, later in zip(ordered, ordered[1:]):
+        if earlier.end > later.warmup_start:
+            raise ValueError(
+                "capture windows of %s and %s overlap"
+                % (earlier.name, later.name))
+
+    machine = Machine(seed=seed, fs=fs)
+    load_elf(machine, image, argv=argv)
+    recorder = _RecordingTool(lazy=False)
+    machine.attach(recorder)
+    out: Dict[str, Pinball] = {}
+
+    for region in ordered:
+        window_start = region.warmup_start
+        window_length = region.end - window_start
+        if machine.executed_total < window_start:
+            status = machine.run(max_instructions=window_start)
+            if status.kind != "stopped":
+                break  # program ended before this region
+        pages = machine.mem.snapshot()
+        perms = machine.mem.snapshot_perms()
+        start_icounts: Dict[int, int] = {}
+        threads: List[ThreadRecord] = []
+        for thread in machine.threads.values():
+            if not thread.alive:
+                continue
+            start_icounts[thread.tid] = thread.icount
+            threads.append(ThreadRecord(
+                tid=thread.tid, regs=thread.regs.copy(),
+                blocked=thread.blocked, futex_addr=thread.futex_addr,
+            ))
+        brk_start = machine.kernel.brk_start
+        brk_end = machine.kernel.brk_end
+        next_tid = machine._next_tid
+        recorder.syscalls = []
+        machine.scheduler.record = True
+        machine.scheduler.trace = []
+        status = machine.run(
+            max_instructions=window_start + window_length)
+        machine.scheduler.record = False
+        for record in threads:
+            thread = machine.threads[record.tid]
+            record.region_icount = thread.icount - start_icounts[record.tid]
+        out[region.name] = Pinball(
+            name=region.name,
+            region=region,
+            pages={page << PAGE_SHIFT: (perms[page], data)
+                   for page, data in pages.items()},
+            threads=threads,
+            syscalls=list(recorder.syscalls),
+            schedule=list(machine.scheduler.trace),
+            brk_start=brk_start,
+            brk_end=brk_end,
+            fat=True,
+            whole_image=True,
+            pages_early=True,
+            next_tid=next_tid,
+        )
+        if status.kind != "stopped":
+            break
+    machine.detach(recorder)
+    return out
+
+
+def log_region(image: bytes, region: RegionSpec,
+               options: Optional[LogOptions] = None,
+               seed: int = 0,
+               argv: Optional[Sequence[str]] = None,
+               fs: Optional[FileSystem] = None) -> Pinball:
+    """Run *image* and capture *region* (warmup included) as a pinball.
+
+    The captured window is ``[region.warmup_start, region.end)`` so that
+    replay and ELFie runs can execute the warmup before the measured
+    region, as PinPoints does.  Raises ``ValueError`` if the program
+    exits before the window starts.
+    """
+    options = options or LogOptions()
+    whole_image, pages_early = options.resolved()
+
+    machine = Machine(seed=seed, fs=fs)
+    load_elf(machine, image, argv=argv)
+
+    window_start = region.warmup_start
+    window_length = region.end - window_start
+
+    # Fast-forward (uninstrumented) to the window start.
+    if window_start:
+        status = machine.run(max_instructions=window_start)
+        if status.kind != "stopped":
+            raise ValueError(
+                "program ended (%s) before region start at %d instructions"
+                % (status.kind, window_start)
+            )
+
+    # Snapshot state at window start.
+    pages = machine.mem.snapshot()
+    perms = machine.mem.snapshot_perms()
+    start_icounts: Dict[int, int] = {}
+    threads: List[ThreadRecord] = []
+    for thread in machine.threads.values():
+        if not thread.alive:
+            continue
+        start_icounts[thread.tid] = thread.icount
+        threads.append(
+            ThreadRecord(
+                tid=thread.tid,
+                regs=thread.regs.copy(),
+                blocked=thread.blocked,
+                futex_addr=thread.futex_addr,
+            )
+        )
+    brk_start = machine.kernel.brk_start
+    brk_end = machine.kernel.brk_end
+
+    # Record during the window.
+    recorder = _RecordingTool(lazy=not pages_early)
+    machine.attach(recorder)
+    machine.scheduler.record = True
+    machine.scheduler.trace = []
+    if not whole_image:
+        machine.mem.touch_hook = (
+            lambda page, is_write: recorder.touched_pages.add(page)
+        )
+    machine.run(max_instructions=window_start + window_length)
+    machine.scheduler.record = False
+    machine.mem.touch_hook = None
+    machine.detach(recorder)
+
+    for record in threads:
+        thread = machine.threads[record.tid]
+        record.region_icount = thread.icount - start_icounts[record.tid]
+
+    if whole_image:
+        kept = pages
+    else:
+        kept = {page: data for page, data in pages.items()
+                if page in recorder.touched_pages}
+
+    return Pinball(
+        name=options.name,
+        region=region,
+        pages={page << PAGE_SHIFT: (perms[page], data)
+               for page, data in kept.items()},
+        threads=threads,
+        syscalls=recorder.syscalls,
+        schedule=list(machine.scheduler.trace),
+        brk_start=brk_start,
+        brk_end=brk_end,
+        fat=whole_image and pages_early,
+        whole_image=whole_image,
+        pages_early=pages_early,
+        program_icount=0,
+        next_tid=machine._next_tid,
+    )

@@ -1,0 +1,266 @@
+"""The pinball on-disk format.
+
+A pinball is a directory of files sharing a basename (paper §I):
+
+``<name>.text``
+    The initial memory image: every captured page with its protection
+    and contents at region start.  Binary format: a magic header then
+    one record per page.
+``<name>.<tid>.reg``
+    Per-thread architectural registers at region start, plus the
+    register results of every system call the thread performs inside
+    the region (injected during constrained replay).
+``<name>.sel``
+    System-call side-effect log: the user-memory writes each syscall
+    performed, with enough argument context for sysstate analysis.
+``<name>.race``
+    Shared-memory-order log.  This reproduction records the realized
+    scheduling slices, which is a *stronger* constraint than PinPlay's
+    shared-memory access order; the guarantee documented in the paper
+    (constrained, not totally ordered, replay) is preserved a fortiori.
+``<name>.result``
+    JSON metadata: region spec, per-thread instruction counts, brk
+    bounds, thread blocked-states, fat flags.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import struct
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.isa.registers import RegisterFile
+from repro.machine.memory import PAGE_SIZE
+from repro.machine.scheduler import ScheduleSlice
+from repro.pinplay.regions import RegionSpec
+
+_TEXT_MAGIC = b"PBTX0001"
+
+
+@dataclass
+class SyscallRecord:
+    """One system call executed inside the captured region."""
+
+    tid: int
+    number: int
+    args: Tuple[int, ...]            # rdi, rsi, rdx, r10, r8, r9 at entry
+    result: int                      # rax after the call
+    writes: List[Tuple[int, bytes]] = field(default_factory=list)
+    #: Path string for open(2) calls (captured at log time).
+    path: Optional[str] = None
+
+    def to_json(self) -> dict:
+        return {
+            "tid": self.tid,
+            "number": self.number,
+            "args": list(self.args),
+            "result": self.result,
+            "writes": [[addr, data.hex()] for addr, data in self.writes],
+            "path": self.path,
+        }
+
+    @classmethod
+    def from_json(cls, data: dict) -> "SyscallRecord":
+        return cls(
+            tid=data["tid"],
+            number=data["number"],
+            args=tuple(data["args"]),
+            result=data["result"],
+            writes=[(addr, bytes.fromhex(hexdata))
+                    for addr, hexdata in data["writes"]],
+            path=data.get("path"),
+        )
+
+
+@dataclass
+class ThreadRecord:
+    """Per-thread capture state (one ``.reg`` file)."""
+
+    tid: int
+    regs: RegisterFile
+    #: Retired instructions this thread executes inside the region.
+    region_icount: int = 0
+    #: Whether the thread was blocked (futex) at region start.
+    blocked: bool = False
+    futex_addr: Optional[int] = None
+
+    def to_json(self) -> dict:
+        return {
+            "tid": self.tid,
+            "regs": self.regs.to_dict(),
+            "region_icount": self.region_icount,
+            "blocked": self.blocked,
+            "futex_addr": self.futex_addr,
+        }
+
+    @classmethod
+    def from_json(cls, data: dict) -> "ThreadRecord":
+        return cls(
+            tid=data["tid"],
+            regs=RegisterFile.from_dict(data["regs"]),
+            region_icount=data["region_icount"],
+            blocked=data["blocked"],
+            futex_addr=data.get("futex_addr"),
+        )
+
+
+@dataclass
+class Pinball:
+    """An in-memory pinball; save/load round-trips the directory format."""
+
+    name: str
+    region: RegionSpec
+    #: page base address -> (protection bits, page bytes)
+    pages: Dict[int, Tuple[int, bytes]]
+    threads: List[ThreadRecord]
+    syscalls: List[SyscallRecord]
+    schedule: List[ScheduleSlice]
+    brk_start: int = 0
+    brk_end: int = 0
+    fat: bool = True
+    whole_image: bool = True
+    pages_early: bool = True
+    #: Whole-program icount of the source run (for weights/coverage).
+    program_icount: int = 0
+    #: The source machine's thread-id counter at region start, so that
+    #: clone() inside the region assigns identical tids during replay.
+    next_tid: int = 0
+
+    # -- derived -----------------------------------------------------------
+
+    @property
+    def num_threads(self) -> int:
+        return len(self.threads)
+
+    @property
+    def region_icount(self) -> int:
+        """Total instructions in the region across threads."""
+        return sum(t.region_icount for t in self.threads)
+
+    def thread(self, tid: int) -> ThreadRecord:
+        for record in self.threads:
+            if record.tid == tid:
+                return record
+        raise KeyError("no thread %d in pinball" % tid)
+
+    def syscalls_for(self, tid: int) -> List[SyscallRecord]:
+        return [record for record in self.syscalls if record.tid == tid]
+
+    def memory_bytes(self) -> int:
+        return len(self.pages) * PAGE_SIZE
+
+    def try_stack_range(self) -> Optional[Tuple[int, int]]:
+        """:meth:`stack_range`, or None when the stack page was not
+        captured (possible for lazy pinballs whose region never touches
+        the stack)."""
+        try:
+            return self.stack_range()
+        except ValueError:
+            return None
+
+    def stack_range(self) -> Tuple[int, int]:
+        """The coalesced page run containing thread 0's rsp.
+
+        This identifies the program-stack pages that ``pinball2elf``
+        must mark non-allocatable (stack-collision fix).
+        """
+        rsp_page = self.threads[0].regs.rsp & ~(PAGE_SIZE - 1)
+        if rsp_page not in self.pages:
+            raise ValueError("thread 0 rsp 0x%x not in captured pages"
+                             % self.threads[0].regs.rsp)
+        start = rsp_page
+        while start - PAGE_SIZE in self.pages:
+            start -= PAGE_SIZE
+        end = rsp_page + PAGE_SIZE
+        while end in self.pages:
+            end += PAGE_SIZE
+        return start, end
+
+    # -- persistence ----------------------------------------------------------
+
+    def save(self, directory: str) -> str:
+        """Write the pinball files under *directory*; returns the prefix."""
+        os.makedirs(directory, exist_ok=True)
+        prefix = os.path.join(directory, self.name)
+        with open(prefix + ".text", "wb") as handle:
+            handle.write(_TEXT_MAGIC)
+            handle.write(struct.pack("<Q", len(self.pages)))
+            for addr in sorted(self.pages):
+                prot, data = self.pages[addr]
+                if len(data) != PAGE_SIZE:
+                    raise ValueError("page 0x%x is not %d bytes" % (addr, PAGE_SIZE))
+                handle.write(struct.pack("<QI", addr, prot))
+                handle.write(data)
+        for record in self.threads:
+            with open("%s.%d.reg" % (prefix, record.tid), "w") as handle:
+                json.dump(record.to_json(), handle)
+        with open(prefix + ".sel", "w") as handle:
+            json.dump([record.to_json() for record in self.syscalls], handle)
+        with open(prefix + ".race", "w") as handle:
+            json.dump([[s.tid, s.quantum] for s in self.schedule], handle)
+        with open(prefix + ".result", "w") as handle:
+            json.dump(
+                {
+                    "name": self.name,
+                    "region": {
+                        "start": self.region.start,
+                        "length": self.region.length,
+                        "warmup": self.region.warmup,
+                        "name": self.region.name,
+                        "weight": self.region.weight,
+                    },
+                    "tids": [record.tid for record in self.threads],
+                    "brk_start": self.brk_start,
+                    "brk_end": self.brk_end,
+                    "fat": self.fat,
+                    "whole_image": self.whole_image,
+                    "pages_early": self.pages_early,
+                    "program_icount": self.program_icount,
+                    "next_tid": self.next_tid,
+                },
+                handle,
+            )
+        return prefix
+
+    @classmethod
+    def load(cls, directory: str, name: str) -> "Pinball":
+        """Load a pinball previously written by :meth:`save`."""
+        prefix = os.path.join(directory, name)
+        with open(prefix + ".result") as handle:
+            meta = json.load(handle)
+        region = RegionSpec(**meta["region"])
+        pages: Dict[int, Tuple[int, bytes]] = {}
+        with open(prefix + ".text", "rb") as handle:
+            magic = handle.read(8)
+            if magic != _TEXT_MAGIC:
+                raise ValueError("bad pinball .text magic")
+            (count,) = struct.unpack("<Q", handle.read(8))
+            for _ in range(count):
+                addr, prot = struct.unpack("<QI", handle.read(12))
+                pages[addr] = (prot, handle.read(PAGE_SIZE))
+        threads = []
+        for tid in meta["tids"]:
+            with open("%s.%d.reg" % (prefix, tid)) as handle:
+                threads.append(ThreadRecord.from_json(json.load(handle)))
+        with open(prefix + ".sel") as handle:
+            syscalls = [SyscallRecord.from_json(item) for item in json.load(handle)]
+        with open(prefix + ".race") as handle:
+            schedule = [ScheduleSlice(tid=tid, quantum=quantum)
+                        for tid, quantum in json.load(handle)]
+        return cls(
+            name=meta["name"],
+            region=region,
+            pages=pages,
+            threads=threads,
+            syscalls=syscalls,
+            schedule=schedule,
+            brk_start=meta["brk_start"],
+            brk_end=meta["brk_end"],
+            fat=meta["fat"],
+            whole_image=meta["whole_image"],
+            pages_early=meta["pages_early"],
+            program_icount=meta.get("program_icount", 0),
+            next_tid=meta.get("next_tid", 0),
+        )

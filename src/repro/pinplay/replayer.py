@@ -1,0 +1,226 @@
+"""Constrained replay of pinballs.
+
+Replay reconstructs the captured machine state (memory image, per-thread
+registers, heap break, blocked threads), then re-executes the region
+with:
+
+- **system-call injection**: system calls are skipped and their recorded
+  register results and memory side-effects are injected instead
+  (``clone`` is the exception — it must really create the thread), and
+- **thread-order enforcement**: the scheduler consumes the recorded
+  slice log, reproducing the captured interleaving.
+
+With ``injection=False`` (the paper's new ``-replay:injection 0``
+switch) neither mechanism is applied: system calls re-execute natively
+and the scheduler free-runs — mimicking an ELFie execution while still
+under the replay harness, which the paper added for debugging ELFie
+failures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.machine.kernel import NR
+from repro.machine.machine import ExitStatus, Machine, Thread
+from repro.machine.tool import Tool
+from repro.machine.vfs import FileSystem
+from repro.pinplay.pinball import Pinball, SyscallRecord
+
+
+class ReplayDivergence(Exception):
+    """The replayed execution no longer matches the recorded log."""
+
+
+class _InjectionTool(Tool):
+    """Skips system calls and injects their recorded effects.
+
+    Like PinPlay's replayer, the tool instruments every instruction
+    (region-length accounting) and — for multi-threaded pinballs —
+    every memory operand (shared-memory order bookkeeping).  This
+    dynamic instrumentation is where constrained replay's run-time
+    overhead over a native run comes from (Table I); pass
+    ``instrument=False`` when a simulator provides its own
+    instrumentation (the Sniper + PinPlay integration).
+    """
+
+    wants_instructions = True
+    wants_memory = False
+
+    def __init__(self, pinball: Pinball, instrument: bool = True) -> None:
+        self._queues: Dict[int, List[SyscallRecord]] = {}
+        for record in pinball.syscalls:
+            self._queues.setdefault(record.tid, []).append(record)
+        self.injected = 0
+        self.diverged: Optional[str] = None
+        self.wants_instructions = instrument
+        # memory-operand monitoring backs lazy page injection (ST) and
+        # shared-memory order enforcement (MT)
+        self.wants_memory = instrument
+        self.replayed_instructions = 0
+        self.monitored_accesses = 0
+        self.uncaptured_accesses = 0
+        #: Per-thread remaining region budget (divergence detection).
+        self._remaining: Dict[int, int] = {
+            record.tid: record.region_icount for record in pinball.threads
+        }
+        self._captured_pages = frozenset(
+            addr >> 12 for addr in pinball.pages)
+
+    def on_instruction(self, machine, thread, pc, insn) -> None:
+        self.replayed_instructions += 1
+        remaining = self._remaining.get(thread.tid)
+        if remaining is not None:
+            if remaining <= 0 and self.diverged is None:
+                self.diverged = (
+                    "thread %d ran past its recorded region length"
+                    % thread.tid)
+                machine.request_stop("replay divergence")
+            self._remaining[thread.tid] = remaining - 1
+
+    def on_memory_read(self, machine, thread, addr, size) -> None:
+        # page-injection monitoring: accesses outside the captured image
+        # are counted (they are legitimate for pages the region itself
+        # maps via mmap/brk, so they are noted rather than fatal)
+        self.monitored_accesses += 1
+        if (addr >> 12) not in self._captured_pages:
+            self.uncaptured_accesses += 1
+
+    def on_memory_write(self, machine, thread, addr, size) -> None:
+        self.monitored_accesses += 1
+        if (addr >> 12) not in self._captured_pages:
+            self.uncaptured_accesses += 1
+
+    def on_syscall_before(self, machine, thread, number):
+        queue = self._queues.get(thread.tid)
+        if not queue:
+            self.diverged = (
+                "thread %d executed an unrecorded syscall %d"
+                % (thread.tid, number)
+            )
+            machine.request_stop("replay divergence")
+            return True
+        record = queue[0]
+        if record.number != number:
+            self.diverged = (
+                "thread %d syscall %d does not match recorded %d"
+                % (thread.tid, number, record.number)
+            )
+            machine.request_stop("replay divergence")
+            return True
+        queue.pop(0)
+        if number == NR.CLONE:
+            # clone must actually run so the thread exists; determinism
+            # holds because tid assignment is sequential.
+            return None
+        if number in (NR.EXIT, NR.EXIT_GROUP):
+            # exits must actually run so threads die.
+            return None
+        # Inject: set the result register and replay memory effects.
+        thread.regs.gpr[0] = record.result & ((1 << 64) - 1)
+        for addr, data in record.writes:
+            machine.mem.write(addr, data)
+        self.injected += 1
+        return True
+
+
+@dataclass
+class ReplayResult:
+    """Outcome of a pinball replay."""
+
+    machine: Machine
+    status: ExitStatus
+    injection: bool
+    #: Instructions executed per (recorded) thread during replay.
+    thread_icounts: Dict[int, int] = field(default_factory=dict)
+    #: Total instructions executed during the replayed region.
+    total_icount: int = 0
+    injected_syscalls: int = 0
+    diverged: Optional[str] = None
+
+    @property
+    def matches_recording(self) -> bool:
+        """True when per-thread icounts equal the recorded counts."""
+        return self.diverged is None
+
+
+def _reconstruct(pinball: Pinball, seed: int,
+                 fs: Optional[FileSystem]) -> Machine:
+    """Build a machine in the pinball's captured start state."""
+    machine = Machine(seed=seed, fs=fs)
+    for addr, (prot, data) in pinball.pages.items():
+        machine.mem.map(addr, len(data), prot, data=data)
+    machine.kernel.set_brk(pinball.brk_start, pinball.brk_end)
+    for record in sorted(pinball.threads, key=lambda r: r.tid):
+        machine.create_thread(regs=record.regs, tid=record.tid)
+    if pinball.next_tid:
+        machine._next_tid = max(machine._next_tid, pinball.next_tid)
+    return machine
+
+
+def replay(pinball: Pinball, injection: bool = True, seed: int = 0,
+           fs: Optional[FileSystem] = None,
+           max_instructions: Optional[int] = None) -> ReplayResult:
+    """Replay *pinball*; constrained when ``injection`` is true.
+
+    A constrained replay stops exactly at the recorded region length and
+    reports whether per-thread instruction counts match the recording.
+    An injection-less replay (``injection=False``) free-runs for up to
+    ``max_instructions`` (default: 4x the recorded region) and reports
+    whatever happened — including SIGSEGV-style deaths, which is its
+    purpose as an ELFie-debugging aid.
+    """
+    machine = _reconstruct(pinball, seed=seed, fs=fs)
+    start_icounts = {t.tid: machine.threads[t.tid].icount
+                     for t in pinball.threads}
+
+    tool: Optional[_InjectionTool] = None
+    if injection:
+        for record in pinball.threads:
+            if record.blocked:
+                thread = machine.threads[record.tid]
+                thread.blocked = True
+                thread.futex_addr = record.futex_addr
+        tool = _InjectionTool(pinball)
+        machine.attach(tool)
+        machine.scheduler.replay(pinball.schedule)
+        # The schedule's quanta sum to every instruction executed in the
+        # window, including those of threads created inside the region.
+        budget = sum(s.quantum for s in pinball.schedule)
+        if budget == 0:
+            budget = pinball.region_icount
+    else:
+        budget = max_instructions
+        if budget is None:
+            budget = 4 * max(pinball.region_icount, 1)
+
+    status = machine.run(max_instructions=budget)
+
+    if tool is not None:
+        machine.detach(tool)
+
+    thread_icounts = {
+        record.tid: machine.threads[record.tid].icount - start_icounts[record.tid]
+        for record in pinball.threads
+    }
+    diverged = tool.diverged if tool is not None else None
+    if injection and diverged is None:
+        for record in pinball.threads:
+            if thread_icounts[record.tid] != record.region_icount:
+                diverged = (
+                    "thread %d executed %d instructions, recorded %d"
+                    % (record.tid, thread_icounts[record.tid],
+                       record.region_icount)
+                )
+                break
+
+    return ReplayResult(
+        machine=machine,
+        status=status,
+        injection=injection,
+        thread_icounts=thread_icounts,
+        total_icount=sum(thread_icounts.values()),
+        injected_syscalls=tool.injected if tool else 0,
+        diverged=diverged,
+    )

@@ -1,0 +1,174 @@
+"""The ``pinball_sysstate`` tool: extract OS state for ELFie re-execution.
+
+An ELFie re-executes system calls natively, so file-related calls need
+the files to exist (paper §II-C2).  This tool analyzes a pinball's
+system-call log and reconstructs:
+
+- **proxy files** for files opened *inside* the region, under their real
+  names, populated solely from the region's read() results,
+- **FD_n proxy files** for files that were already open at region start
+  (referenced only by descriptor),
+- **BRK.log** with the first and last ``brk()`` results in the region,
+  which a custom ``elfie_on_start`` callback feeds back through
+  ``prctl(PR_SET_MM)`` to restore the heap layout.
+
+The result is materialized as a *sysstate working directory* in a
+:class:`~repro.machine.vfs.FileSystem`; running the ELFie chrooted in
+that directory (or with it as the cwd) makes the region's file syscalls
+succeed with the captured data.
+"""
+
+from __future__ import annotations
+
+import posixpath
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.machine.kernel import NR
+from repro.machine.vfs import FileSystem, SEEK_CUR, SEEK_END, SEEK_SET
+from repro.pinplay.pinball import Pinball, SyscallRecord
+
+
+@dataclass
+class ProxyFile:
+    """A file to materialize in the sysstate directory."""
+
+    name: str                 # "FD_5" or the real path
+    data: bytearray = field(default_factory=bytearray)
+    #: Descriptor to restore via dup2 at ELFie start (FD_n files only).
+    restore_fd: Optional[int] = None
+
+    def write_at(self, offset: int, data: bytes) -> None:
+        end = offset + len(data)
+        if end > len(self.data):
+            self.data.extend(b"\x00" * (end - len(self.data)))
+        self.data[offset:end] = data
+
+
+@dataclass
+class SysState:
+    """Reconstructed OS state for one pinball."""
+
+    pinball_name: str
+    files: List[ProxyFile] = field(default_factory=list)
+    first_brk: int = 0
+    last_brk: int = 0
+
+    @property
+    def fd_files(self) -> List[ProxyFile]:
+        """Proxies for descriptors open before the region (FD_n)."""
+        return [f for f in self.files if f.restore_fd is not None]
+
+    @property
+    def named_files(self) -> List[ProxyFile]:
+        """Proxies for files opened inside the region."""
+        return [f for f in self.files if f.restore_fd is None]
+
+    def brk_log(self) -> str:
+        """The BRK.log contents (first/last brk results in the region)."""
+        return "first_brk 0x%x\nlast_brk 0x%x\n" % (self.first_brk,
+                                                    self.last_brk)
+
+    def write_to(self, fs: FileSystem, workdir: str = "/sysstate") -> str:
+        """Materialize the sysstate directory into *fs*.
+
+        FD_n proxies and BRK.log land inside *workdir*.  Named files
+        opened with absolute paths are copied to their rightful absolute
+        location *and* into the workdir (so a chrooted run finds them
+        either way).  Returns the workdir path.
+        """
+        for proxy in self.files:
+            if proxy.restore_fd is not None:
+                fs.create(posixpath.join(workdir, proxy.name), bytes(proxy.data))
+            else:
+                if proxy.name.startswith("/"):
+                    fs.create(proxy.name, bytes(proxy.data))
+                    fs.create(workdir + proxy.name, bytes(proxy.data))
+                else:
+                    fs.create(posixpath.join(workdir, proxy.name),
+                              bytes(proxy.data))
+        fs.create(posixpath.join(workdir, "BRK.log"), self.brk_log().encode())
+        return workdir
+
+
+def extract_sysstate(pinball: Pinball) -> SysState:
+    """Run the replay-based analysis over a pinball's syscall log.
+
+    Tracks each descriptor's virtual offset through open/read/lseek/
+    dup/dup2/close and places every read() result at the offset it was
+    consumed from, so a native re-execution returns identical data.
+
+    Known limitation (shared with the paper's tool): for descriptors
+    open before the region, offsets are virtual — the first region read
+    defines offset 0 of the FD_n proxy.  SEEK_SET inside the region is
+    honored in this virtual coordinate system; programs that seek to
+    absolute pre-region positions are outside the common cases handled.
+    """
+    state = SysState(pinball_name=pinball.name)
+    # descriptor -> (ProxyFile, current virtual offset), per thread view
+    # is unnecessary: descriptors are process-wide.
+    open_files: Dict[int, Tuple[ProxyFile, int]] = {}
+    proxies_by_identity: Dict[str, ProxyFile] = {}
+    saw_brk = False
+
+    def proxy_for_fd(fd: int) -> Tuple[ProxyFile, int]:
+        if fd in open_files:
+            return open_files[fd]
+        # first reference to a pre-region descriptor
+        name = "FD_%d" % fd
+        proxy = proxies_by_identity.get(name)
+        if proxy is None:
+            proxy = ProxyFile(name=name, restore_fd=fd)
+            proxies_by_identity[name] = proxy
+            state.files.append(proxy)
+        open_files[fd] = (proxy, 0)
+        return open_files[fd]
+
+    for record in pinball.syscalls:
+        number = record.number
+        result = _signed(record.result)
+        if number == NR.OPEN:
+            if result < 0:
+                continue
+            name = record.path or "FD_%d" % result
+            proxy = proxies_by_identity.get(name)
+            if proxy is None:
+                proxy = ProxyFile(name=name)
+                proxies_by_identity[name] = proxy
+                state.files.append(proxy)
+            open_files[result] = (proxy, 0)
+        elif number == NR.READ:
+            fd = record.args[0]
+            if fd <= 2 or result <= 0:
+                continue
+            proxy, offset = proxy_for_fd(fd)
+            data = b"".join(chunk for _, chunk in record.writes)
+            proxy.write_at(offset, data[:result])
+            open_files[fd] = (proxy, offset + result)
+        elif number == NR.LSEEK:
+            fd = record.args[0]
+            if fd <= 2 or result < 0:
+                continue
+            proxy, _offset = proxy_for_fd(fd)
+            open_files[fd] = (proxy, result)
+        elif number == NR.CLOSE:
+            open_files.pop(record.args[0], None)
+        elif number == NR.DUP:
+            if result >= 0 and record.args[0] in open_files:
+                open_files[result] = open_files[record.args[0]]
+        elif number == NR.DUP2:
+            if result >= 0 and record.args[0] in open_files:
+                open_files[record.args[1]] = open_files[record.args[0]]
+        elif number == NR.BRK:
+            if not saw_brk:
+                state.first_brk = record.result
+                saw_brk = True
+            state.last_brk = record.result
+    if not saw_brk:
+        state.first_brk = pinball.brk_end
+        state.last_brk = pinball.brk_end
+    return state
+
+
+def _signed(value: int) -> int:
+    return value - (1 << 64) if value & (1 << 63) else value

@@ -1,0 +1,46 @@
+"""Simulation region selection: BBV profiling, SimPoint, PinPoints.
+
+The paper validates PinPoints-selected regions with ELFies (§IV-A).
+This package provides the full selection pipeline:
+
+- :mod:`repro.simpoint.bbv` -- basic-block-vector profiling in fixed
+  instruction slices (the SimPoint feature extractor),
+- :mod:`repro.simpoint.kmeans` -- random projection + k-means with
+  BIC model selection (maxK),
+- :mod:`repro.simpoint.simpoint` -- representative and alternate slice
+  selection with weights,
+- :mod:`repro.simpoint.pinpoints` -- the end-to-end PinPoints driver
+  (profile, cluster, capture a fat pinball per representative),
+- :mod:`repro.simpoint.validation` -- prediction-error computation,
+  ELFie-based and simulation-based validation, coverage with
+  alternates.
+"""
+
+from repro.simpoint.bbv import BBVProfile, collect_bbv
+from repro.simpoint.kmeans import KMeansResult, cluster_vectors
+from repro.simpoint.simpoint import SimPointResult, pick_regions, select_simpoints
+from repro.simpoint.pinpoints import PinPointsResult, run_pinpoints
+from repro.simpoint.validation import (
+    RegionMeasurement,
+    ValidationResult,
+    prediction_error,
+    validate_with_elfies,
+    validate_with_simulator,
+)
+
+__all__ = [
+    "BBVProfile",
+    "collect_bbv",
+    "KMeansResult",
+    "cluster_vectors",
+    "SimPointResult",
+    "pick_regions",
+    "select_simpoints",
+    "PinPointsResult",
+    "run_pinpoints",
+    "RegionMeasurement",
+    "ValidationResult",
+    "prediction_error",
+    "validate_with_elfies",
+    "validate_with_simulator",
+]

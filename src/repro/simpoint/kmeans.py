@@ -1,0 +1,153 @@
+"""Random projection + k-means with BIC model selection.
+
+Follows the SimPoint 3.0 recipe: L1-normalize the BBVs, project them
+onto a low-dimensional space with a seeded random matrix, run k-means
+(k-means++ seeding) for each k up to maxK, score each clustering with
+the Bayesian Information Criterion, and keep the smallest k whose BIC
+reaches a fraction of the best observed BIC.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+#: SimPoint's default projected dimensionality.
+PROJECTION_DIM = 15
+
+#: Accept the smallest k reaching this fraction of the best BIC.
+BIC_THRESHOLD = 0.9
+
+
+@dataclass
+class KMeansResult:
+    """A clustering of program slices."""
+
+    k: int
+    labels: np.ndarray           # slice index -> cluster id
+    centroids: np.ndarray        # (k, dim)
+    points: np.ndarray           # projected slice vectors (n, dim)
+    bic: float
+
+    def members(self, cluster: int) -> np.ndarray:
+        """Indices of slices in a cluster."""
+        return np.nonzero(self.labels == cluster)[0]
+
+    def distances_to_centroid(self, cluster: int) -> np.ndarray:
+        """Distance of each member slice to its cluster centroid."""
+        members = self.members(cluster)
+        return np.linalg.norm(
+            self.points[members] - self.centroids[cluster], axis=1
+        )
+
+
+def project_vectors(vectors: Sequence[Dict[int, int]],
+                    dim: int = PROJECTION_DIM, seed: int = 42) -> np.ndarray:
+    """L1-normalize sparse BBVs and random-project to *dim* dimensions."""
+    keys = sorted({key for vector in vectors for key in vector})
+    index = {key: i for i, key in enumerate(keys)}
+    dense = np.zeros((len(vectors), max(len(keys), 1)))
+    for row, vector in enumerate(vectors):
+        total = sum(vector.values())
+        if total == 0:
+            continue
+        for key, count in vector.items():
+            dense[row, index[key]] = count / total
+    rng = np.random.RandomState(seed)
+    projection = rng.normal(size=(dense.shape[1], dim)) / np.sqrt(dim)
+    return dense @ projection
+
+
+def _kmeans_once(points: np.ndarray, k: int, seed: int,
+                 iterations: int = 60) -> KMeansResult:
+    n = points.shape[0]
+    rng = np.random.RandomState(seed)
+    # k-means++ seeding
+    centroids = [points[rng.randint(n)]]
+    for _ in range(1, k):
+        dists = np.min(
+            [np.sum((points - c) ** 2, axis=1) for c in centroids], axis=0
+        )
+        total = dists.sum()
+        if total <= 0:
+            centroids.append(points[rng.randint(n)])
+            continue
+        probs = dists / total
+        centroids.append(points[rng.choice(n, p=probs)])
+    centers = np.array(centroids)
+
+    labels = np.zeros(n, dtype=int)
+    for _ in range(iterations):
+        distances = np.linalg.norm(points[:, None, :] - centers[None, :, :],
+                                   axis=2)
+        new_labels = np.argmin(distances, axis=1)
+        if np.array_equal(new_labels, labels) and _ > 0:
+            break
+        labels = new_labels
+        for cluster in range(k):
+            members = points[labels == cluster]
+            if len(members):
+                centers[cluster] = members.mean(axis=0)
+    bic = _bic_score(points, labels, centers)
+    return KMeansResult(k=k, labels=labels, centroids=centers,
+                        points=points, bic=bic)
+
+
+def _bic_score(points: np.ndarray, labels: np.ndarray,
+               centers: np.ndarray) -> float:
+    """BIC under a spherical Gaussian model (SimPoint's criterion)."""
+    n, dim = points.shape
+    k = centers.shape[0]
+    if n <= k:
+        return float("-inf")
+    sse = 0.0
+    for cluster in range(k):
+        members = points[labels == cluster]
+        if len(members):
+            sse += float(np.sum((members - centers[cluster]) ** 2))
+    variance = max(sse / (dim * (n - k)), 1e-12)
+    log_likelihood = 0.0
+    for cluster in range(k):
+        size = int(np.sum(labels == cluster))
+        if size == 0:
+            continue
+        log_likelihood += (
+            size * np.log(size / n)
+            - size * dim / 2.0 * np.log(2.0 * np.pi * variance)
+            - (size - 1) * dim / 2.0
+        )
+    parameters = k * (dim + 1)
+    return log_likelihood - parameters / 2.0 * np.log(n)
+
+
+def cluster_vectors(vectors: Sequence[Dict[int, int]], max_k: int = 50,
+                    dim: int = PROJECTION_DIM, seed: int = 42,
+                    ) -> KMeansResult:
+    """Cluster BBVs, choosing k by the SimPoint BIC rule.
+
+    k-means runs for every k in 1..min(max_k, n); the smallest k whose
+    BIC reaches ``BIC_THRESHOLD`` of the best BIC (after shifting all
+    scores positive) is selected.
+    """
+    if not vectors:
+        raise ValueError("no vectors to cluster")
+    points = project_vectors(vectors, dim=dim, seed=seed)
+    n = points.shape[0]
+    candidates: List[KMeansResult] = []
+    for k in range(1, min(max_k, n) + 1):
+        candidates.append(_kmeans_once(points, k, seed=seed + k))
+    scores = np.array([c.bic for c in candidates])
+    finite = scores[np.isfinite(scores)]
+    if len(finite) == 0:
+        return candidates[0]
+    low = finite.min()
+    shifted = scores - low
+    best = shifted.max()
+    if best <= 0:
+        return candidates[0]
+    for candidate, score in zip(candidates, shifted):
+        if np.isfinite(score) and score >= BIC_THRESHOLD * best:
+            return candidate
+    return candidates[int(np.argmax(shifted))]

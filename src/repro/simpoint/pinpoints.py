@@ -1,0 +1,108 @@
+"""The PinPoints driver: profile, cluster, capture, convert (paper §IV-A).
+
+PinPoints automates "profiling an x86 application, finding phases, and
+creating a checkpoint called a pinball for each representative region".
+This module runs that pipeline on the simulated platform and optionally
+converts every pinball to an ELFie.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.markers import MarkerSpec
+from repro.core.pinball2elf import ElfieArtifact, Pinball2Elf, Pinball2ElfOptions
+from repro.machine.vfs import FileSystem
+from repro.pinplay.logger import LogOptions, log_region, log_regions
+from repro.pinplay.pinball import Pinball
+from repro.pinplay.regions import RegionSpec
+from repro.simpoint.bbv import BBVProfile, collect_bbv
+from repro.simpoint.simpoint import SimPointResult, select_simpoints
+
+
+@dataclass
+class PinPointsResult:
+    """Everything the PinPoints pipeline produced for one program."""
+
+    app_name: str
+    profile: BBVProfile
+    simpoints: SimPointResult
+    #: Primary + alternate regions (rank encoded in the region name).
+    regions: List[RegionSpec]
+    #: region name -> captured fat pinball.
+    pinballs: Dict[str, Pinball] = field(default_factory=dict)
+    #: region name -> generated ELFie artifact.
+    elfies: Dict[str, ElfieArtifact] = field(default_factory=dict)
+
+    @property
+    def primary_regions(self) -> List[RegionSpec]:
+        return [r for r in self.regions if ".alt" not in r.name]
+
+    def alternates_for(self, region: RegionSpec) -> List[RegionSpec]:
+        """Alternate regions of the same cluster, best first."""
+        base = region.name.split(".alt")[0]
+        return sorted(
+            (r for r in self.regions
+             if r.name.startswith(base + ".alt")),
+            key=lambda r: r.name,
+        )
+
+
+def run_pinpoints(image: bytes, app_name: str,
+                  slice_size: int = 20_000,
+                  warmup: int = 80_000,
+                  max_k: int = 50,
+                  seed: int = 0,
+                  fs: Optional[FileSystem] = None,
+                  max_alternates: int = 2,
+                  capture: bool = True,
+                  make_elfies: bool = True,
+                  marker: Optional[MarkerSpec] = None,
+                  perf_exit: bool = True,
+                  cluster_seed: int = 42) -> PinPointsResult:
+    """Run the full PinPoints pipeline on *image*.
+
+    With ``capture`` a fat pinball is logged per region (primaries and
+    up to *max_alternates* alternates); with ``make_elfies`` each
+    pinball is converted to an ELFie with a ROI marker and graceful-exit
+    counters.
+    """
+    profile = collect_bbv(image, slice_size=slice_size, seed=seed, fs=fs)
+    simpoints = select_simpoints(profile, max_k=max_k, seed=cluster_seed)
+    regions = simpoints.regions(warmup=warmup,
+                                name_prefix="%s.r" % app_name,
+                                max_alternates=max_alternates)
+    result = PinPointsResult(
+        app_name=app_name,
+        profile=profile,
+        simpoints=simpoints,
+        regions=regions,
+    )
+    if not capture:
+        return result
+    marker = marker or MarkerSpec("sniper", 0xE1F)
+    capturable = [region for region in regions
+                  if region.end <= profile.total_icount]
+    # Windows of different regions may overlap (a big warmup around
+    # adjacent slices); capture overlapping ones in separate passes.
+    passes: List[List[RegionSpec]] = []
+    for region in sorted(capturable, key=lambda r: r.warmup_start):
+        for group in passes:
+            if group and group[-1].end <= region.warmup_start:
+                group.append(region)
+                break
+        else:
+            passes.append([region])
+    for group in passes:
+        pinballs = log_regions(image, group, seed=seed, fs=fs)
+        for name, pinball in pinballs.items():
+            pinball.program_icount = profile.total_icount
+            result.pinballs[name] = pinball
+            if make_elfies:
+                artifact = Pinball2Elf(
+                    pinball,
+                    Pinball2ElfOptions(perf_exit=perf_exit, marker=marker),
+                ).convert()
+                result.elfies[name] = artifact
+    return result

@@ -1,0 +1,249 @@
+"""Validation of simulation-region selection (paper §IV-A).
+
+The quality metric is the *prediction error*::
+
+    error = (whole_program_CPI - region_predicted_CPI) / whole_program_CPI
+
+where the predicted CPI is the region-weight-weighted mean of per-region
+CPIs.  The paper computes the true value two ways:
+
+- **traditionally**, by simulating the entire program (weeks of
+  simulation time), and
+- **with ELFies**, by running the whole program and each region ELFie
+  natively with hardware counters (an hour).
+
+Both are implemented here.  Failed ELFies (signal exits, short runs)
+are replaced by their cluster's alternate representatives, reproducing
+the paper's coverage-recovery strategy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.core.elfie import prepare_elfie_machine
+from repro.core.pinball2elf import ElfieArtifact
+from repro.isa.instructions import Op
+from repro.machine.tool import Tool
+from repro.machine.vfs import FileSystem
+from repro.pinplay.regions import RegionSpec
+from repro.simpoint.pinpoints import PinPointsResult
+
+
+def prediction_error(true_value: float, predicted: float) -> float:
+    """The paper's error definition: (true - predicted) / true."""
+    if true_value == 0:
+        return 0.0
+    return (true_value - predicted) / true_value
+
+
+class _RegionMeter(Tool):
+    """Measures cycles over the captured region, skipping the warmup.
+
+    Watches the ROI marker; once the owning thread has retired
+    ``warmup`` post-marker instructions the meter starts, and after
+    ``length`` more it stops the machine.  Cycle counts come from the
+    simulated hardware timing model, so attaching this tool does not
+    perturb the measurement (unlike a real Pintool).
+    """
+
+    wants_instructions = True
+
+    def __init__(self, warmup: int, length: int) -> None:
+        self.warmup = warmup
+        self.length = length
+        self.tid: Optional[int] = None
+        self._roi_icount = 0
+        self.start_cycles: Optional[int] = None
+        self.end_cycles: Optional[int] = None
+        self._start_at = 0
+        self._end_at = 0
+
+    def on_instruction(self, machine, thread, pc, insn) -> None:
+        if self.tid is None:
+            if insn.op is Op.MARKER:
+                self.tid = thread.tid
+                self._start_at = thread.icount + self.warmup
+                self._end_at = self._start_at + self.length
+            return
+        if thread.tid != self.tid:
+            return
+        if self.start_cycles is None:
+            if thread.icount >= self._start_at:
+                self.start_cycles = thread.cycles
+            return
+        if self.end_cycles is None and thread.icount >= self._end_at:
+            self.end_cycles = thread.cycles
+            machine.request_stop("region measured")
+
+    @property
+    def cpi(self) -> Optional[float]:
+        if self.start_cycles is None or self.end_cycles is None:
+            return None
+        return (self.end_cycles - self.start_cycles) / self.length
+
+
+@dataclass
+class RegionMeasurement:
+    """Native measurement of one region ELFie."""
+
+    region: RegionSpec
+    cpi: Optional[float]
+    ok: bool
+    detail: str = ""
+    used_alternate: Optional[str] = None
+
+
+@dataclass
+class ValidationResult:
+    """Outcome of validating one program's region selection."""
+
+    app_name: str
+    whole_program_cpi: float
+    measurements: List[RegionMeasurement] = field(default_factory=list)
+
+    @property
+    def covered_weight(self) -> float:
+        """Coverage: the summed weight of correctly-executing regions."""
+        return sum(m.region.weight for m in self.measurements if m.ok)
+
+    @property
+    def predicted_cpi(self) -> float:
+        """Weight-normalized predicted CPI over covered regions."""
+        covered = self.covered_weight
+        if covered == 0:
+            return 0.0
+        return sum(
+            m.region.weight * m.cpi for m in self.measurements if m.ok
+        ) / covered
+
+    @property
+    def error(self) -> float:
+        return prediction_error(self.whole_program_cpi, self.predicted_cpi)
+
+    @property
+    def abs_error_percent(self) -> float:
+        return abs(self.error) * 100.0
+
+
+def measure_elfie_region(artifact: ElfieArtifact, region: RegionSpec,
+                         seed: int = 0,
+                         fs: Optional[FileSystem] = None,
+                         workdir: str = "/",
+                         budget_factor: int = 6) -> RegionMeasurement:
+    """Run a region ELFie natively and measure its post-warmup CPI."""
+    try:
+        machine, _loaded = prepare_elfie_machine(
+            artifact.image, seed=seed, fs=fs, workdir=workdir)
+    except Exception as exc:  # loader failures (stack collision)
+        return RegionMeasurement(region=region, cpi=None, ok=False,
+                                 detail="loader: %s" % exc)
+    # The marker sits at the captured window start (warmup_start); the
+    # instructions to skip are those actually captured before the
+    # region, which is less than the nominal warmup when the region
+    # starts early in the program.
+    effective_warmup = region.start - region.warmup_start
+    meter = _RegionMeter(warmup=effective_warmup, length=region.length)
+    machine.attach(meter)
+    # Budget: startup (stack copy) + warmup + region, with headroom.
+    budget = budget_factor * (region.warmup + region.length) + 2_000_000
+    status = machine.run(max_instructions=budget)
+    machine.detach(meter)
+    cpi = meter.cpi
+    if cpi is None:
+        detail = ("died: %s" % status.detail if status.kind == "signal"
+                  else "incomplete: %s" % status.detail)
+        return RegionMeasurement(region=region, cpi=None, ok=False,
+                                 detail=detail)
+    return RegionMeasurement(region=region, cpi=cpi, ok=True)
+
+
+def validate_with_elfies(result: PinPointsResult,
+                         seed: int = 0,
+                         trials: int = 3,
+                         fs: Optional[FileSystem] = None,
+                         use_alternates: bool = True) -> ValidationResult:
+    """ELFie-based validation: native runs instead of simulation.
+
+    Each region is measured ``trials`` times (different scheduler
+    seeds) and averaged, as the paper does (ten trials per
+    measurement).  When a primary region's ELFie fails, the cluster's
+    alternates are tried in order.
+    """
+    validation = ValidationResult(
+        app_name=result.app_name,
+        whole_program_cpi=result.profile.whole_program_cpi,
+    )
+    for region in result.primary_regions:
+        measurement = _measure_with_alternates(
+            result, region, seed=seed, trials=trials, fs=fs,
+            use_alternates=use_alternates)
+        validation.measurements.append(measurement)
+    return validation
+
+
+def _measure_with_alternates(result: PinPointsResult, region: RegionSpec,
+                             seed: int, trials: int,
+                             fs: Optional[FileSystem],
+                             use_alternates: bool) -> RegionMeasurement:
+    candidates = [region]
+    if use_alternates:
+        candidates += result.alternates_for(region)
+    last: Optional[RegionMeasurement] = None
+    for candidate in candidates:
+        artifact = result.elfies.get(candidate.name)
+        if artifact is None:
+            continue
+        cpis: List[float] = []
+        failure: Optional[RegionMeasurement] = None
+        for trial in range(trials):
+            measurement = measure_elfie_region(
+                artifact, candidate, seed=seed + trial * 101, fs=fs)
+            if measurement.ok:
+                cpis.append(measurement.cpi)
+            else:
+                failure = measurement
+                break
+        if cpis and failure is None:
+            return RegionMeasurement(
+                region=RegionSpec(
+                    start=candidate.start, length=candidate.length,
+                    warmup=candidate.warmup, name=candidate.name,
+                    weight=region.weight,
+                ),
+                cpi=sum(cpis) / len(cpis),
+                ok=True,
+                used_alternate=(candidate.name
+                                if candidate.name != region.name else None),
+            )
+        last = failure
+    if last is not None:
+        return RegionMeasurement(region=region, cpi=None, ok=False,
+                                 detail=last.detail)
+    return RegionMeasurement(region=region, cpi=None, ok=False,
+                             detail="no ELFie available")
+
+
+def validate_with_simulator(
+        result: PinPointsResult,
+        whole_cpi_fn: Callable[[], float],
+        region_cpi_fn: Callable[[ElfieArtifact, RegionSpec], Optional[float]],
+) -> ValidationResult:
+    """Traditional, simulation-based validation.
+
+    ``whole_cpi_fn`` simulates the entire program (the expensive step
+    the paper replaces); ``region_cpi_fn`` simulates one region ELFie.
+    """
+    validation = ValidationResult(
+        app_name=result.app_name,
+        whole_program_cpi=whole_cpi_fn(),
+    )
+    for region in result.primary_regions:
+        artifact = result.elfies.get(region.name)
+        cpi = region_cpi_fn(artifact, region) if artifact else None
+        validation.measurements.append(
+            RegionMeasurement(region=region, cpi=cpi, ok=cpi is not None,
+                              detail="" if cpi is not None else "no result")
+        )
+    return validation

@@ -1,0 +1,114 @@
+"""Synthetic ring-0 instruction streams for full-system simulation.
+
+The paper's Table IV compares user-only (SDE front-end) against
+full-system (Simics front-end) simulation of the same ELFie; the
+full-system run additionally executes operating-system code: system
+call service routines and periodic timer interrupts.  We cannot run a
+real kernel, so this module substitutes deterministic synthetic
+streams that exercise the same simulator mechanisms: extra ring-0
+instructions, instruction fetches from a kernel code region, and data
+accesses over a large, sparse kernel working set (page tables, slab
+caches, the scheduler's runqueues), which is what disturbs TLBs,
+caches, prefetchers, and memory bandwidth in the real measurement.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Tuple
+
+from repro.machine.kernel import NR
+
+#: Kernel virtual address bases (x86-64 direct-map style).
+KERNEL_TEXT_BASE = 0xFFFFFFFF81000000
+KERNEL_DATA_BASE = 0xFFFF888000000000
+
+#: Span of the synthetic kernel data working set (bytes).
+KERNEL_DATA_SPAN = 8 << 20
+
+#: Ring-0 instructions charged per syscall service routine.
+SYSCALL_COSTS = {
+    NR.READ: 900,
+    NR.WRITE: 800,
+    NR.OPEN: 1400,
+    NR.CLOSE: 500,
+    NR.LSEEK: 350,
+    NR.MMAP: 1600,
+    NR.MPROTECT: 1200,
+    NR.MUNMAP: 1100,
+    NR.BRK: 700,
+    NR.CLONE: 2500,
+    NR.FUTEX: 600,
+    NR.GETTIMEOFDAY: 250,
+    NR.EXIT: 1200,
+    NR.EXIT_GROUP: 1500,
+}
+DEFAULT_SYSCALL_COST = 450
+
+#: A timer interrupt fires every this many user instructions...
+TIMER_INTERVAL = 25_000
+#: ...and its handler runs this many ring-0 instructions.
+TIMER_COST = 320
+
+#: Fraction of kernel instructions that access kernel data (1 in N).
+DATA_EVERY = 6
+#: Kernel instruction fetch advances a new line every N instructions.
+FETCH_LINE_EVERY = 8
+#: Every Nth data access leaves the episode's local block (footprint).
+FAR_EVERY = 4
+
+_MASK64 = (1 << 64) - 1
+
+
+@dataclass
+class KernelStream:
+    """One ring-0 episode: its length and its memory-access pattern."""
+
+    instructions: int
+    seed: int
+    #: Stable per-cause seed: the same handler executes the same kernel
+    #: text every time, so instruction fetches hit the caches on repeat
+    #: episodes (only data addresses vary per episode).
+    fetch_seed: int = 0
+
+    def accesses(self) -> Iterator[Tuple[str, int]]:
+        """Yield ("fetch" | "data", address) events for the episode.
+
+        Addresses are produced by a seeded LCG so the stream is
+        deterministic for a given (cause, sequence-number) seed.  Most
+        data accesses walk an episode-local 4 KiB block (a kernel stack
+        or slab page — good locality), while every ``FAR_EVERY``-th
+        access touches a fresh line somewhere in the large kernel
+        working set, which is what grows the full-system data footprint
+        (Table IV's +45%) without making every access a miss.
+        """
+        state = (self.seed * 6364136223846793005 + 1442695040888963407) & _MASK64
+        fetch_base = KERNEL_TEXT_BASE + (self.fetch_seed % 0x400) * 4096
+        local_base = KERNEL_DATA_BASE + ((state >> 8) % 0x10000) * 4096
+        data_index = 0
+        for index in range(self.instructions):
+            if index % FETCH_LINE_EVERY == 0:
+                yield "fetch", fetch_base + (index // FETCH_LINE_EVERY) * 64
+            if index % DATA_EVERY == 0:
+                data_index += 1
+                if data_index % FAR_EVERY == 0:
+                    state = (state * 2862933555777941757 + 3037000493) & _MASK64
+                    offset = (state >> 16) % KERNEL_DATA_SPAN
+                    yield "data", KERNEL_DATA_BASE + (offset & ~0x3F)
+                else:
+                    yield "data", local_base + (data_index * 8) % 4096
+
+
+def syscall_stream(number: int, sequence: int) -> KernelStream:
+    """The kernel episode servicing syscall *number*."""
+    cost = SYSCALL_COSTS.get(number, DEFAULT_SYSCALL_COST)
+    return KernelStream(instructions=cost,
+                        seed=(number << 20) ^ sequence,
+                        fetch_seed=number)
+
+
+def timer_stream(sequence: int) -> KernelStream:
+    """The kernel episode for one timer interrupt."""
+    return KernelStream(instructions=TIMER_COST,
+                        seed=0x71E4 ^ (sequence << 8),
+                        fetch_seed=0x71E4)

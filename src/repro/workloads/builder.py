@@ -1,0 +1,157 @@
+"""ProgramBuilder: turn a phase schedule into a runnable PX executable.
+
+Single-threaded programs run their phases back to back.  Multi-threaded
+programs are SPMD in the OpenMP style the paper evaluates: every thread
+executes the same phase schedule on its own buffer, separated by
+*active-wait* barriers (xadd arrival counter + pause spin loop).  The
+spinning is deliberate: it is what makes an unconstrained ELFie run
+retire more instructions than its constrained pinball replay (Fig. 11).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.workloads.compile import build_executable
+from repro.workloads.phases import KERNEL_INSTRUCTIONS_PER_ITER, phase_source
+
+#: Per-thread worker stack size in the generated data section.
+WORKER_STACK_BYTES = 16384
+
+
+@dataclass(frozen=True)
+class PhaseSpec:
+    """One phase of a program: a kernel run for some iterations."""
+
+    kernel: str
+    iterations: int
+    buffer_kb: int = 64
+    #: Extra iterations per thread index (OpenMP trip-count imbalance).
+    skew_iters: int = 0
+
+    @property
+    def estimated_instructions(self) -> int:
+        return self.iterations * KERNEL_INSTRUCTIONS_PER_ITER[self.kernel]
+
+
+@dataclass
+class ProgramBuilder:
+    """Builds an executable from a phase schedule."""
+
+    name: str
+    phases: List[PhaseSpec]
+    threads: int = 1
+    data_base: int = 0x600000
+
+    def __post_init__(self) -> None:
+        if not self.phases:
+            raise ValueError("a program needs at least one phase")
+        if self.threads < 1:
+            raise ValueError("threads must be >= 1")
+
+    @property
+    def buffer_bytes(self) -> int:
+        return max(p.buffer_kb for p in self.phases) * 1024
+
+    def estimated_instructions(self) -> int:
+        """Rough retired-instruction estimate (all threads, no spin)."""
+        per_thread = sum(p.estimated_instructions for p in self.phases)
+        return per_thread * self.threads
+
+    # -- assembly generation -------------------------------------------------
+
+    def _phase_block(self, index: int, spec: PhaseSpec) -> str:
+        prefix = "p%d" % index
+        return phase_source(spec.kernel, prefix, spec.iterations,
+                            "buf", self.buffer_bytes,
+                            skew_iters=spec.skew_iters)
+
+    def _barrier(self, index: int) -> str:
+        """Active-wait barrier: atomic arrival count + pause spin."""
+        return f"""
+barrier_{index}:
+    mov rdx, bar_{index}_count
+    mov rax, 1
+    xadd [rdx], rax
+bar_{index}_spin:
+    ld rax, [rdx]
+    cmp rax, {self.threads}
+    jae bar_{index}_done
+    pause
+    jmp bar_{index}_spin
+bar_{index}_done:
+    ret
+"""
+
+    def code_source(self) -> str:
+        """The program's .text assembly."""
+        lines: List[str] = ["_start:"]
+        # Spawn workers (threads 1..T-1), each jumping to its entry stub.
+        for worker in range(1, self.threads):
+            lines.append(f"""
+    mov rax, 56
+    mov rdi, 0x100
+    mov rsi, stack_{worker}_top
+    mov rdx, worker_{worker}
+    syscall
+""")
+        lines.append("""
+    mov r15, 0
+    mov rbp, buf_0
+    jmp body
+""")
+        for worker in range(1, self.threads):
+            lines.append(f"""
+worker_{worker}:
+    mov r15, {worker}
+    mov rbp, buf_{worker}
+    jmp body
+""")
+        lines.append("body:")
+        for index, spec in enumerate(self.phases):
+            lines.append(self._phase_block(index, spec))
+            if self.threads > 1:
+                lines.append(f"    call barrier_{index}")
+        lines.append("""
+    cmp r15, 0
+    jz main_exit
+    mov rax, 60
+    mov rdi, 0
+    syscall
+main_exit:
+    mov rax, 231
+    mov rdi, 0
+    syscall
+""")
+        if self.threads > 1:
+            for index in range(len(self.phases)):
+                lines.append(self._barrier(index))
+        return "\n".join(lines)
+
+    def data_source(self) -> str:
+        """The program's .data assembly (buffers, stacks, barriers)."""
+        lines: List[str] = []
+        for thread in range(self.threads):
+            lines.append(f"buf_{thread}:")
+            lines.append(f".zero {self.buffer_bytes}")
+        lines.append("buf:")  # alias label for phase templates
+        lines.append(".quad 0")
+        for worker in range(1, self.threads):
+            lines.append(f"stack_{worker}:")
+            lines.append(f".zero {WORKER_STACK_BYTES}")
+            lines.append(f"stack_{worker}_top:")
+            lines.append(".quad 0")
+        if self.threads > 1:
+            for index in range(len(self.phases)):
+                lines.append(f"bar_{index}_count:")
+                lines.append(".quad 0")
+        return "\n".join(lines) + "\n"
+
+    def build(self) -> bytes:
+        """Assemble and link the program into an ELF executable."""
+        return build_executable(
+            self.code_source(),
+            data_source=self.data_source(),
+            data_base=self.data_base,
+        )

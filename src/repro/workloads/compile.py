@@ -1,0 +1,117 @@
+"""Convenience pipeline: PX assembly source -> ELF executable -> run.
+
+This is the "GCC -O2" of the reproduction: it turns assembly text into a
+statically linked PX ELF executable with conventional ``.text`` and
+``.data`` placement, ready for the loader, the PinPlay logger, or any of
+the simulators.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple
+
+from repro.elf.structs import SHF_ALLOC, SHF_EXECINSTR, SHF_WRITE
+from repro.elf.writer import ElfBuilder
+from repro.isa.assembler import AssembledProgram, Assembler
+from repro.machine.loader import LoadedImage, load_elf
+from repro.machine.machine import ExitStatus, Machine
+from repro.machine.memory import PROT_READ, PROT_EXEC, PROT_RW, page_align_up
+from repro.machine.vfs import FileSystem
+
+#: Conventional load addresses (mirroring Linux x86-64 binaries).
+DEFAULT_TEXT_BASE = 0x400000
+DEFAULT_DATA_BASE = 0x600000
+
+
+def compile_program(source: str, data_source: str = "",
+                    text_base: int = DEFAULT_TEXT_BASE,
+                    data_base: int = DEFAULT_DATA_BASE,
+                    ) -> Tuple[AssembledProgram, Optional[AssembledProgram]]:
+    """Assemble code (and optional data) at their load addresses.
+
+    Labels in *source* may reference labels in *data_source* and vice
+    versa is **not** supported — keep data labels in the data source and
+    reference them from code.  For single-blob programs just pass
+    everything in *source*.
+    """
+    if not data_source:
+        return Assembler(base=text_base).add(source).assemble(), None
+    # Two-region assembly: assemble data first so code can reference its
+    # labels through a shared assembler symbol table.
+    joint = Assembler(base=text_base)
+    joint.add(source)
+    code_size = joint.current_offset
+    pad = data_base - text_base - code_size
+    if pad < 0:
+        raise ValueError("code overflows into the data region")
+    joint.emit_bytes(b"\x00" * pad)
+    joint.add(data_source)
+    program = joint.assemble()
+    code = AssembledProgram(
+        base=text_base, code=program.code[:code_size],
+        labels={k: v for k, v in program.labels.items() if v < data_base},
+    )
+    data = AssembledProgram(
+        base=data_base,
+        code=program.code[data_base - text_base:],
+        labels={k: v for k, v in program.labels.items() if v >= data_base},
+    )
+    return code, data
+
+
+def build_executable(source: str, data_source: str = "",
+                     entry_label: str = "_start",
+                     text_base: int = DEFAULT_TEXT_BASE,
+                     data_base: int = DEFAULT_DATA_BASE,
+                     bss_pages: int = 4) -> bytes:
+    """Assemble *source* and produce a statically linked ELF executable.
+
+    The code lands in an executable ``.text`` section at *text_base*;
+    *data_source* (if any) lands in a writable ``.data`` at *data_base*.
+    A zeroed ``.bss`` of *bss_pages* pages follows ``.data`` for scratch
+    space.  The entry point is *entry_label* (default ``_start``).
+    """
+    code, data = compile_program(source, data_source, text_base, data_base)
+    all_labels = dict(code.labels)
+    if data is not None:
+        all_labels.update(data.labels)
+    if entry_label not in all_labels:
+        raise ValueError("entry label %r not defined" % entry_label)
+    builder = ElfBuilder(entry=all_labels[entry_label])
+    builder.add_section(
+        ".text", code.code, addr=text_base,
+        flags=SHF_ALLOC | SHF_EXECINSTR, align=16,
+        prot=PROT_READ | PROT_EXEC,
+    )
+    if data is not None and data.code:
+        builder.add_section(
+            ".data", data.code, addr=data_base,
+            flags=SHF_ALLOC | SHF_WRITE, align=16, prot=PROT_RW,
+        )
+        bss_base = page_align_up(data_base + len(data.code))
+    else:
+        bss_base = page_align_up(text_base + len(code.code)) + 0x1000
+    if bss_pages:
+        builder.add_section(
+            ".bss", b"\x00" * (bss_pages * 4096), addr=bss_base,
+            flags=SHF_ALLOC | SHF_WRITE, align=4096, prot=PROT_RW,
+        )
+        all_labels["__bss_start"] = bss_base
+    for name, value in sorted(all_labels.items()):
+        builder.add_symbol(name, value)
+    return builder.build()
+
+
+def run_program(image: bytes, seed: int = 0,
+                argv: Optional[Sequence[str]] = None,
+                fs: Optional[FileSystem] = None,
+                max_instructions: Optional[int] = None,
+                root: str = "/") -> Tuple[Machine, ExitStatus, LoadedImage]:
+    """Load an ELF image into a fresh machine and run it.
+
+    Returns (machine, exit status, loaded image) for inspection.
+    """
+    machine = Machine(seed=seed, fs=fs, root=root)
+    loaded = load_elf(machine, image, argv=argv)
+    status = machine.run(max_instructions=max_instructions)
+    return machine, status, loaded

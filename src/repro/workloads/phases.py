@@ -1,0 +1,210 @@
+"""Phase kernels: assembly templates with distinct microarchitectural
+behaviour.
+
+Each kernel generates one program phase as PX assembly.  The kernels are
+chosen so that phases differ in CPI on the platform's hardware timing
+model (cache misses, divides, floating point, branches), which is what
+gives SimPoint phase analysis something real to find:
+
+``compute``
+    Register-only integer arithmetic; CPI near 1.
+``stream``
+    Sequential loads/stores over a buffer larger than the hardware
+    cache; steady miss rate, memory-bound CPI.
+``pointer_chase``
+    LCG-scattered loads over the buffer; high miss rate, highest CPI.
+``branchy``
+    Data-dependent conditional branches, light memory traffic.
+``fpkernel``
+    Floating-point multiply/add chains; mid CPI from FP latencies.
+``divide``
+    Integer division chains; very high CPI, no memory traffic.
+
+All kernels preserve the invariant that the only registers carrying
+state across phases are rbp (thread workspace base) and r15 (thread id);
+everything else is phase-local.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+#: Approximate retired instructions per (iteration, element) for sizing.
+KERNEL_INSTRUCTIONS_PER_ITER = {
+    "compute": 10,
+    "stream": 10,
+    "pointer_chase": 15,
+    "branchy": 10,
+    "fpkernel": 9,
+    "divide": 7,
+}
+
+
+def _iter_header(prefix: str, iterations: int, skew_iters: int) -> str:
+    """Loop-count header: thread i runs iterations + i * skew_iters.
+
+    The thread index is carried in r15 (the builder's SPMD convention);
+    a nonzero skew models OpenMP trip-count imbalance, which is what
+    makes threads wait (and spin) at barriers.
+    """
+    if not skew_iters:
+        return f"""
+{prefix}_start:
+    mov rcx, {iterations}"""
+    return f"""
+{prefix}_start:
+    mov rcx, {iterations}
+    mov rdx, r15
+    imul rdx, {skew_iters}
+    add rcx, rdx"""
+
+
+def _compute(prefix: str, iterations: int, buf: str, buf_bytes: int,
+             skew_iters: int = 0) -> str:
+    return _iter_header(prefix, iterations, skew_iters) + f"""
+    mov rax, 0x9e3779b97f4a7c15
+    mov rbx, 1
+{prefix}_loop:
+    imul rbx, 6364136223846793005
+    add rbx, 1442695040888963407
+    mov rdx, rbx
+    shr rdx, 33
+    xor rbx, rdx
+    add rax, rbx
+    sub rcx, 1
+    cmp rcx, 0
+    jnz {prefix}_loop
+"""
+
+
+def _stream(prefix: str, iterations: int, buf: str, buf_bytes: int,
+           skew_iters: int = 0) -> str:
+    # One iteration touches one element; the pointer wraps at buffer end.
+    return _iter_header(prefix, iterations, skew_iters) + f"""
+    mov rdi, rbp
+    mov rdx, rbp
+    add rdx, {buf_bytes}
+{prefix}_loop:
+    ld rax, [rdi]
+    add rax, rcx
+    st [rdi], rax
+    add rdi, 8
+    cmp rdi, rdx
+    jb {prefix}_nowrap
+    mov rdi, rbp
+{prefix}_nowrap:
+    sub rcx, 1
+    cmp rcx, 0
+    jnz {prefix}_loop
+"""
+
+
+def _pointer_chase(prefix: str, iterations: int, buf: str, buf_bytes: int,
+                  skew_iters: int = 0) -> str:
+    # LCG index generator scatters accesses across the buffer.
+    mask = max(buf_bytes // 8, 2) - 1  # elements must be a power of two
+    return _iter_header(prefix, iterations, skew_iters) + f"""
+    mov rbx, 12345
+{prefix}_loop:
+    imul rbx, 2862933555777941757
+    add rbx, 3037000493
+    mov rdx, rbx
+    shr rdx, 17
+    and rdx, {mask}
+    shl rdx, 3
+    add rdx, rbp
+    ld rax, [rdx]
+    add rax, 1
+    st [rdx], rax
+    sub rcx, 1
+    cmp rcx, 0
+    jnz {prefix}_loop
+"""
+
+
+def _branchy(prefix: str, iterations: int, buf: str, buf_bytes: int,
+            skew_iters: int = 0) -> str:
+    return _iter_header(prefix, iterations, skew_iters) + f"""
+    mov rbx, 98765
+    mov rax, 0
+{prefix}_loop:
+    imul rbx, 6364136223846793005
+    add rbx, 1442695040888963407
+    mov rdx, rbx
+    shr rdx, 60
+    cmp rdx, 8
+    jl {prefix}_low
+    add rax, 3
+    jmp {prefix}_next
+{prefix}_low:
+    cmp rdx, 4
+    jl {prefix}_lower
+    add rax, 2
+    jmp {prefix}_next
+{prefix}_lower:
+    add rax, 1
+{prefix}_next:
+    sub rcx, 1
+    cmp rcx, 0
+    jnz {prefix}_loop
+"""
+
+
+def _fpkernel(prefix: str, iterations: int, buf: str, buf_bytes: int,
+             skew_iters: int = 0) -> str:
+    return _iter_header(prefix, iterations, skew_iters) + f"""
+    fmov xmm0, 1.000000119
+    fmov xmm1, 0.999999881
+    fmov xmm2, 1.5
+{prefix}_loop:
+    fmul xmm2, xmm0
+    fadd xmm2, xmm1
+    fmul xmm2, xmm1
+    fsub xmm2, xmm1
+    sub rcx, 1
+    cmp rcx, 0
+    jnz {prefix}_loop
+"""
+
+
+def _divide(prefix: str, iterations: int, buf: str, buf_bytes: int,
+           skew_iters: int = 0) -> str:
+    return _iter_header(prefix, iterations, skew_iters) + f"""
+    mov rax, 0xfffffffffffffffb
+{prefix}_loop:
+    mov rbx, rcx
+    add rbx, 3
+    div rax, rbx
+    add rax, 0x123456789abcdef
+    sub rcx, 1
+    cmp rcx, 0
+    jnz {prefix}_loop
+"""
+
+
+PHASE_KERNELS: Dict[str, Callable[[str, int, str, int], str]] = {
+    "compute": _compute,
+    "stream": _stream,
+    "pointer_chase": _pointer_chase,
+    "branchy": _branchy,
+    "fpkernel": _fpkernel,
+    "divide": _divide,
+}
+
+
+def phase_source(kernel: str, prefix: str, iterations: int,
+                 buf_label: str, buf_bytes: int,
+                 skew_iters: int = 0) -> str:
+    """Generate the assembly for one phase.
+
+    *prefix* must be unique per phase instance (label namespace); the
+    thread's buffer base is expected in rbp and its index in r15.  A
+    nonzero *skew_iters* adds that many iterations per thread index
+    (OpenMP-style trip-count imbalance).
+    """
+    if kernel not in PHASE_KERNELS:
+        raise KeyError("unknown phase kernel %r" % kernel)
+    if iterations <= 0:
+        raise ValueError("iterations must be positive")
+    return PHASE_KERNELS[kernel](prefix, iterations, buf_label, buf_bytes,
+                                 skew_iters)

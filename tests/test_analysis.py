@@ -1,0 +1,110 @@
+"""Tests for the analysis helpers: perf-stat and report rendering."""
+
+import pytest
+
+from repro.analysis import PerfStats, Table, bar_chart, format_table
+from repro.analysis.perfstat import perf_stat_elfie, perf_stat_program
+from repro.core import MarkerSpec, Pinball2Elf, Pinball2ElfOptions
+from repro.pinplay import RegionSpec, log_region
+from repro.workloads import build_executable
+
+PROGRAM = """
+_start:
+    mov rcx, 30000
+loop:
+    ld rax, [slot]
+    add rax, rcx
+    st [slot], rax
+    sub rcx, 1
+    cmp rcx, 0
+    jnz loop
+    mov rax, 231
+    mov rdi, 0
+    syscall
+"""
+
+
+@pytest.fixture(scope="module")
+def image():
+    return build_executable(PROGRAM, data_source="slot:\n.quad 0\n")
+
+
+def test_perf_stat_program_counts(image):
+    stats = perf_stat_program(image)
+    assert stats.exit_kind == "exit"
+    assert stats.instructions > 150_000
+    assert stats.cycles > stats.instructions
+    assert 1.0 < stats.cpi < 5.0
+    assert stats.ipc == pytest.approx(1.0 / stats.cpi)
+    assert stats.branches > 0
+
+
+def test_perf_stat_program_deterministic(image):
+    first = perf_stat_program(image, seed=4)
+    second = perf_stat_program(image, seed=4)
+    assert first.cycles == second.cycles
+    assert first.instructions == second.instructions
+
+
+def test_perf_stat_elfie_region(image):
+    pinball = log_region(image, RegionSpec(start=40_000, length=30_000,
+                                           warmup=10_000, name="ps.r0"))
+    artifact = Pinball2Elf(pinball, Pinball2ElfOptions(
+        perf_exit=True, marker=MarkerSpec("sniper", 2))).convert()
+    stats = perf_stat_elfie(artifact.image, region_length=30_000,
+                            warmup=10_000)
+    assert stats is not None
+    assert stats.instructions == 30_000
+    assert stats.cpi > 1.0
+
+
+def test_perf_stats_mpki():
+    stats = PerfStats(instructions=1000, cycles=2000, llc_misses=5,
+                      branches=100, exit_kind="exit")
+    assert stats.mpki == 5.0
+    empty = PerfStats(instructions=0, cycles=0, llc_misses=0, branches=0,
+                      exit_kind="exit")
+    assert empty.cpi == 0.0
+    assert empty.mpki == 0.0
+
+
+def test_table_rendering_alignment():
+    table = Table(title="T", headers=["name", "value"])
+    table.add_row("a", 1)
+    table.add_row("longer-name", 123.5)
+    text = table.render()
+    lines = text.splitlines()
+    assert lines[0] == "T"
+    assert "name" in lines[2] and "value" in lines[2]
+    assert "longer-name" in text
+    assert "123.500" in text
+
+
+def test_table_rejects_wrong_arity():
+    table = Table(title="T", headers=["a", "b"])
+    with pytest.raises(ValueError):
+        table.add_row("only-one")
+
+
+def test_format_table_one_call():
+    text = format_table("title", ["x"], [["1"], ["2"]])
+    assert "title" in text
+    assert "1" in text and "2" in text
+
+
+def test_bar_chart_scales_bars():
+    text = bar_chart("chart", [("small", 1.0), ("big", 10.0)], width=20)
+    lines = text.splitlines()
+    small_bar = lines[1].count("#")
+    big_bar = lines[2].count("#")
+    assert big_bar == 20
+    assert 1 <= small_bar <= 3
+
+
+def test_bar_chart_negative_values():
+    text = bar_chart("c", [("down", -2.0), ("up", 2.0)])
+    assert "-" in text.splitlines()[1]
+
+
+def test_bar_chart_empty():
+    assert "(no data)" in bar_chart("c", [])

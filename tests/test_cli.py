@@ -1,0 +1,104 @@
+"""Tests for the pinball2elf command-line front-end."""
+
+import json
+
+import pytest
+
+from repro.core.cli import main
+from repro.pinplay import Pinball, RegionSpec, log_region
+from repro.workloads import build_executable
+
+PROGRAM = """
+_start:
+    mov rcx, 30000
+loop:
+    ld rax, [slot]
+    add rax, rcx
+    st [slot], rax
+    sub rcx, 1
+    cmp rcx, 0
+    jnz loop
+    mov rax, 231
+    mov rdi, 0
+    syscall
+"""
+
+
+@pytest.fixture(scope="module")
+def binary(tmp_path_factory):
+    path = tmp_path_factory.mktemp("bin") / "prog.elf"
+    path.write_bytes(build_executable(PROGRAM,
+                                      data_source="slot:\n.quad 0\n"))
+    return str(path)
+
+
+@pytest.fixture(scope="module")
+def pinball_prefix(binary, tmp_path_factory):
+    out = tmp_path_factory.mktemp("pb")
+    code = main(["logger", "--binary", binary, "--start", "20000",
+                 "--length", "40000", "--name", "cli", "--out", str(out)])
+    assert code == 0
+    return str(out / "cli")
+
+
+def test_logger_writes_pinball_files(pinball_prefix, capsys):
+    pinball = Pinball.load(*pinball_prefix.rsplit("/", 1))
+    assert pinball.region_icount == 40000
+    assert pinball.fat
+
+
+def test_pinball2elf_executable(pinball_prefix, tmp_path, capsys):
+    out = str(tmp_path / "x.elfie")
+    code = main(["pinball2elf", "--pinball", pinball_prefix,
+                 "--out", out, "--roi-start", "sniper:0x7",
+                 "--perf-exit"])
+    assert code == 0
+    captured = capsys.readouterr().out
+    assert "wrote" in captured
+    from repro.elf import ElfFile, ET_EXEC
+
+    elf = ElfFile.from_path(out)
+    assert elf.header.e_type == ET_EXEC
+
+
+def test_pinball2elf_object_mode(pinball_prefix, tmp_path, capsys):
+    out = str(tmp_path / "x.o")
+    code = main(["pinball2elf", "--pinball", pinball_prefix,
+                 "--out", out, "--object", "--dump-contexts"])
+    assert code == 0
+    from repro.elf import ElfFile, ET_REL
+
+    assert ElfFile.from_path(out).header.e_type == ET_REL
+    assert (tmp_path / "x.o.lds").exists()
+    assert (tmp_path / "x.o.ctx.s").exists()
+
+
+def test_replay_command(pinball_prefix, capsys):
+    code = main(["replay", "--pinball", pinball_prefix])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "matches recording: True" in out
+
+
+def test_replay_injectionless(pinball_prefix, capsys):
+    code = main(["replay", "--pinball", pinball_prefix, "--injection", "0"])
+    assert code == 0
+
+
+def test_sysstate_report(pinball_prefix, capsys):
+    code = main(["sysstate", "--pinball", pinball_prefix])
+    assert code == 0
+    report = json.loads(capsys.readouterr().out)
+    assert report["pinball"] == "cli"
+    assert "first_brk" in report
+
+
+def test_run_command(pinball_prefix, tmp_path, capsys):
+    elfie = str(tmp_path / "r.elfie")
+    main(["pinball2elf", "--pinball", pinball_prefix, "--out", elfie,
+          "--perf-exit"])
+    capsys.readouterr()
+    code = main(["run", elfie, "--seed", "3"])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "status: exit" in out

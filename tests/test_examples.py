@@ -1,0 +1,35 @@
+"""Smoke tests: the runnable examples must execute end to end.
+
+Only the two fast examples run here; the validation and multi-threaded
+simulation examples exercise the same code paths as the benchmark
+harnesses (which cover them at full scale).
+"""
+
+import runpy
+import sys
+
+import pytest
+
+
+def _run_example(path, argv=None):
+    old_argv = sys.argv
+    sys.argv = [path] + (argv or [])
+    try:
+        runpy.run_path(path, run_name="__main__")
+    finally:
+        sys.argv = old_argv
+
+
+def test_quickstart_example(capsys):
+    _run_example("examples/quickstart.py")
+    out = capsys.readouterr().out
+    assert "pinball2elf: convert to a stand-alone ELFie" in out
+    assert "matches recording: True" in out
+    assert "Sniper-like simulation" in out
+
+
+def test_sysstate_example(capsys):
+    _run_example("examples/sysstate_file_replay.py")
+    out = capsys.readouterr().out
+    assert "read() re-executes natively and fails" in out
+    assert "identical to the captured execution" in out

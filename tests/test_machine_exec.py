@@ -1,0 +1,515 @@
+"""End-to-end tests of the machine: load, run, syscalls, threads, faults."""
+
+import pytest
+
+from repro.machine import Machine, load_elf
+from repro.machine.loader import StackCollisionError
+from repro.machine.vfs import FileSystem
+from repro.workloads import build_executable, run_program
+
+
+def test_exit_code_propagates():
+    image = build_executable(
+        """
+        _start:
+            mov rax, 231
+            mov rdi, 42
+            syscall
+        """
+    )
+    _, status, _ = run_program(image)
+    assert status.kind == "exit"
+    assert status.code == 42
+    assert status.graceful
+
+
+def test_arithmetic_loop_result():
+    image = build_executable(
+        """
+        _start:
+            mov rbx, 0
+            mov rcx, 100
+        loop:
+            add rbx, rcx
+            sub rcx, 1
+            cmp rcx, 0
+            jnz loop
+            mov rax, 231
+            mov rdi, rbx        ; 5050 & 0xff = 186
+            syscall
+        """
+    )
+    _, status, _ = run_program(image)
+    assert status.code == 5050 & 0xFF
+
+
+def test_write_to_stdout():
+    image = build_executable(
+        """
+        _start:
+            mov rax, 1
+            mov rdi, 1
+            mov rsi, msg
+            mov rdx, 6
+            syscall
+            mov rax, 231
+            mov rdi, 0
+            syscall
+        msg:
+            .ascii "hello\\n"
+        """
+    )
+    machine, status, _ = run_program(image)
+    assert machine.stdout() == b"hello\n"
+    assert status.code == 0
+
+
+def test_open_read_file():
+    fs = FileSystem()
+    fs.create("/input.dat", b"ABCDEFGH")
+    image = build_executable(
+        """
+        _start:
+            mov rax, 2          ; open("/input.dat", O_RDONLY)
+            mov rdi, path
+            mov rsi, 0
+            syscall
+            mov rdi, rax        ; fd
+            mov rax, 0          ; read(fd, buf, 8)
+            mov rsi, buf
+            mov rdx, 8
+            syscall
+            mov rax, 1          ; write(1, buf, 8)
+            mov rdi, 1
+            mov rsi, buf
+            mov rdx, 8
+            syscall
+            mov rax, 231
+            mov rdi, 0
+            syscall
+        path:
+            .asciz "/input.dat"
+        """,
+        data_source="buf:\n.zero 16\n",
+    )
+    machine, status, _ = run_program(image, fs=fs)
+    assert machine.stdout() == b"ABCDEFGH"
+
+
+def test_read_from_missing_fd_returns_error():
+    image = build_executable(
+        """
+        _start:
+            mov rax, 0          ; read(9, buf, 8) -> -EBADF
+            mov rdi, 9
+            mov rsi, buf
+            mov rdx, 8
+            syscall
+            mov rdi, 0
+            cmp rax, 0
+            jge done
+            mov rdi, 1          ; exit 1 when read failed
+        done:
+            mov rax, 231
+            syscall
+        buf:
+            .zero 8
+        """
+    )
+    _, status, _ = run_program(image)
+    assert status.code == 1
+
+
+def test_unmapped_execute_is_sigsegv():
+    image = build_executable(
+        """
+        _start:
+            mov rax, 0x12345000
+            jmp rax
+        """
+    )
+    _, status, _ = run_program(image)
+    assert status.kind == "signal"
+    assert status.signal == 11
+
+
+def test_unmapped_data_access_is_sigsegv():
+    image = build_executable(
+        """
+        _start:
+            mov rax, 0x77777000
+            ld rbx, [rax]
+        """
+    )
+    _, status, _ = run_program(image)
+    assert status.kind == "signal"
+    assert status.signal == 11
+    assert status.fault_address == 0x77777000
+
+
+def test_divide_by_zero_is_sigfpe():
+    image = build_executable(
+        """
+        _start:
+            mov rax, 10
+            mov rbx, 0
+            div rax, rbx
+        """
+    )
+    _, status, _ = run_program(image)
+    assert status.kind == "signal"
+    assert status.signal == 8
+
+
+def test_executing_data_is_a_fault():
+    image = build_executable(
+        """
+        _start:
+            mov rax, garbage
+            jmp rax
+        garbage:
+            .byte 0xff, 0xff, 0xff
+        """
+    )
+    _, status, _ = run_program(image)
+    assert status.kind == "signal"
+    assert status.signal in (4, 11)
+
+
+def test_brk_grows_heap():
+    image = build_executable(
+        """
+        _start:
+            mov rax, 12         ; brk(0) -> current
+            mov rdi, 0
+            syscall
+            mov rbx, rax
+            add rbx, 8192
+            mov rax, 12         ; brk(current + 8192)
+            mov rdi, rbx
+            syscall
+            sub rbx, 16
+            st [rbx], rax       ; touch new heap memory
+            mov rax, 231
+            mov rdi, 0
+            syscall
+        """
+    )
+    _, status, _ = run_program(image)
+    assert status.code == 0
+
+
+def test_mmap_munmap_cycle():
+    image = build_executable(
+        """
+        _start:
+            mov rax, 9          ; mmap(0, 8192, RW, ANON, -1, 0)
+            mov rdi, 0
+            mov rsi, 8192
+            mov rdx, 3
+            mov r10, 0x22
+            mov r8, -1
+            mov r9, 0
+            syscall
+            mov rbx, rax
+            mov rcx, 0xdead
+            st [rbx+64], rcx
+            ld rdx, [rbx+64]
+            mov rax, 11         ; munmap
+            mov rdi, rbx
+            mov rsi, 8192
+            syscall
+            mov rax, 231
+            mov rdi, 0
+            cmp rdx, 0xdead
+            jz ok
+            mov rdi, 1
+        ok:
+            syscall
+        """
+    )
+    _, status, _ = run_program(image)
+    assert status.code == 0
+
+
+def test_clone_creates_running_thread():
+    image = build_executable(
+        """
+        _start:
+            mov rax, 56             ; clone(flags, stack, fn)
+            mov rdi, 0x100          ; CLONE_VM
+            mov rsi, child_stack_top
+            mov rdx, child_fn
+            syscall
+        wait:
+            ld rbx, [flag]
+            cmp rbx, 1
+            jnz wait
+            mov rax, 231
+            mov rdi, 0
+            syscall
+        child_fn:
+            mov rcx, 1
+            st [flag], rcx
+            mov rax, 60             ; exit(0) — thread exit
+            mov rdi, 0
+            syscall
+        """,
+        data_source="""
+        flag:
+            .quad 0
+        child_stack:
+            .zero 4096
+        child_stack_top:
+            .quad 0
+        """,
+    )
+    machine, status, _ = run_program(image)
+    assert status.code == 0
+    assert len(machine.threads) == 2
+
+
+def test_gettimeofday_writes_timeval():
+    image = build_executable(
+        """
+        _start:
+            mov rax, 96
+            mov rdi, tv
+            mov rsi, 0
+            syscall
+            ld rbx, [tv]        ; seconds
+            mov rax, 231
+            mov rdi, 0
+            cmp rbx, 0
+            jg done
+            mov rdi, 1
+        done:
+            syscall
+        """,
+        data_source="tv:\n.zero 16\n",
+    )
+    _, status, _ = run_program(image)
+    assert status.code == 0
+
+
+def test_futex_wait_wake():
+    image = build_executable(
+        """
+        _start:
+            mov rax, 56
+            mov rdi, 0x100
+            mov rsi, stack_top
+            mov rdx, waker
+            syscall
+            mov rax, 202            ; futex(futex_word, WAIT, 0)
+            mov rdi, futex_word
+            mov rsi, 0
+            mov rdx, 0
+            syscall
+            mov rax, 231            ; reached after wake
+            mov rdi, 7
+            syscall
+        waker:
+            mov rcx, 500
+        spin:
+            sub rcx, 1
+            cmp rcx, 0
+            jnz spin
+            mov rcx, 1
+            st4 [futex_word], rcx
+            mov rax, 202            ; futex(futex_word, WAKE, 1)
+            mov rdi, futex_word
+            mov rsi, 1
+            mov rdx, 1
+            syscall
+            mov rax, 60
+            mov rdi, 0
+            syscall
+        """,
+        data_source="""
+        futex_word:
+            .quad 0
+        stack:
+            .zero 2048
+        stack_top:
+            .quad 0
+        """,
+    )
+    _, status, _ = run_program(image)
+    assert status.kind == "exit"
+    assert status.code == 7
+
+
+def test_scheduler_seed_changes_interleaving():
+    """Two seeds produce different instruction interleavings for a racy
+    increment loop — the substrate of ELFie non-determinism."""
+    source = """
+        _start:
+            mov rax, 56
+            mov rdi, 0x100
+            mov rsi, stack_top
+            mov rdx, child
+            syscall
+            mov rcx, 400
+        bump:
+            ld rbx, [counter]
+            add rbx, 1
+            st [counter], rbx
+            sub rcx, 1
+            cmp rcx, 0
+            jnz bump
+        wait:
+            ld rbx, [done_flag]
+            cmp rbx, 1
+            jnz wait
+            ld rdi, [counter]
+            and rdi, 0xff
+            mov rax, 231
+            syscall
+        child:
+            mov rcx, 400
+        bump2:
+            ld rbx, [counter]
+            add rbx, 1
+            st [counter], rbx
+            sub rcx, 1
+            cmp rcx, 0
+            jnz bump2
+            mov rbx, 1
+            st [done_flag], rbx
+            mov rax, 60
+            mov rdi, 0
+            syscall
+    """
+    data = """
+        counter:
+            .quad 0
+        done_flag:
+            .quad 0
+        stack:
+            .zero 2048
+        stack_top:
+            .quad 0
+    """
+    image = build_executable(source, data_source=data)
+    results = set()
+    for seed in range(6):
+        _, status, _ = run_program(image, seed=seed)
+        results.add(status.code)
+    # lost updates vary with the interleaving
+    assert len(results) > 1
+
+
+def test_max_instructions_stops_run():
+    image = build_executable(
+        """
+        _start:
+            jmp _start
+        """
+    )
+    machine, status, _ = run_program(image, max_instructions=1000)
+    assert status.kind == "stopped"
+    assert machine.total_icount() <= 1100
+
+
+def test_pmu_armed_trap_without_handler_exits_thread():
+    image = build_executable(
+        """
+        _start:
+            mov rax, 298        ; perf_event_open(INSTR, 50, no handler)
+            mov rdi, 0
+            mov rsi, 50
+            mov rdx, 0
+            syscall
+        forever:
+            jmp forever
+        """
+    )
+    machine, status, _ = run_program(image)
+    assert status.kind == "exit"
+    main = machine.threads[0]
+    assert 50 <= main.icount <= 60
+
+
+def test_pmu_handler_redirect_runs_callback():
+    image = build_executable(
+        """
+        _start:
+            mov rax, 298
+            mov rdi, 0
+            mov rsi, 40
+            mov rdx, handler
+            syscall
+        forever:
+            jmp forever
+        handler:
+            mov rax, 1          ; write(1, "done", 4)
+            mov rdi, 1
+            mov rsi, msg
+            mov rdx, 4
+            syscall
+            mov rax, 231
+            mov rdi, 5
+            syscall
+        msg:
+            .ascii "done"
+        """
+    )
+    machine, status, _ = run_program(image)
+    assert status.code == 5
+    assert machine.stdout() == b"done"
+
+
+def test_perf_read_counts_instructions():
+    image = build_executable(
+        """
+        _start:
+            mov rcx, 100
+        loop:
+            sub rcx, 1
+            cmp rcx, 0
+            jnz loop
+            mov rax, 334        ; perf_read(INSTRUCTIONS)
+            mov rdi, 0
+            syscall
+            mov rdi, rax
+            and rdi, 0xff
+            mov rax, 231
+            syscall
+        """
+    )
+    machine, status, _ = run_program(image)
+    main = machine.threads[0]
+    # exit code is the (truncated) icount read just before exit
+    assert status.code == (main.icount - 5) & 0xFF
+
+
+def test_stack_has_argv_and_envp():
+    image = build_executable(
+        """
+        _start:
+            ld rbx, [rsp]       ; argc
+            mov rax, 231
+            mov rdi, rbx
+            syscall
+        """
+    )
+    _, status, _ = run_program(image, argv=["prog", "arg1", "arg2"])
+    assert status.code == 3
+
+
+def test_symbols_in_loaded_image():
+    image = build_executable(
+        """
+        _start:
+            mov rax, 231
+            mov rdi, 0
+            syscall
+        helper:
+            nop
+        """
+    )
+    machine = Machine(seed=0)
+    loaded = load_elf(machine, image)
+    assert "helper" in loaded.symbols
+    assert loaded.symbols["_start"] == loaded.entry

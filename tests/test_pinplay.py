@@ -1,0 +1,306 @@
+"""Tests for the PinPlay substrate: logging, pinballs, replay, sysstate."""
+
+import pytest
+
+from repro.machine.vfs import FileSystem
+from repro.pinplay import (
+    LogOptions,
+    Pinball,
+    RegionSpec,
+    extract_sysstate,
+    log_region,
+    replay,
+)
+from repro.workloads import build_executable, run_program
+
+COUNTER_PROGRAM = """
+_start:
+    mov rbx, 0
+    mov rcx, 2000
+loop:
+    add rbx, rcx
+    imul rbx, 3
+    ld rax, [scratch]
+    add rax, rbx
+    st [scratch], rax
+    sub rcx, 1
+    cmp rcx, 0
+    jnz loop
+    mov rax, 231
+    mov rdi, 0
+    syscall
+"""
+
+COUNTER_DATA = "scratch:\n.quad 0\n"
+
+
+@pytest.fixture(scope="module")
+def counter_image():
+    return build_executable(COUNTER_PROGRAM, data_source=COUNTER_DATA)
+
+
+FILE_PROGRAM = """
+_start:
+    mov rax, 2          ; open("/in.dat") — BEFORE the region
+    mov rdi, path
+    mov rsi, 0
+    syscall
+    mov r14, rax        ; keep fd
+    mov rcx, 3000       ; region will start inside this delay loop
+delay:
+    sub rcx, 1
+    cmp rcx, 0
+    jnz delay
+    mov rax, 0          ; read(fd, buf, 8) — INSIDE the region
+    mov rdi, r14
+    mov rsi, buf
+    mov rdx, 8
+    syscall
+    ld rbx, [buf]
+    mov rax, 231
+    mov rdi, rbx
+    and rdi, 0xff
+    syscall
+path:
+    .asciz "/in.dat"
+"""
+
+FILE_DATA = "buf:\n.zero 16\n"
+
+
+@pytest.fixture(scope="module")
+def file_image():
+    return build_executable(FILE_PROGRAM, data_source=FILE_DATA)
+
+
+def _file_fs():
+    fs = FileSystem()
+    fs.create("/in.dat", bytes([0x2A]) + b"\x00" * 15)
+    return fs
+
+
+def test_log_region_produces_pinball(counter_image):
+    region = RegionSpec(start=2000, length=3000, name="test.r0")
+    pinball = log_region(counter_image, region, LogOptions(name="test"))
+    assert pinball.num_threads == 1
+    assert pinball.region_icount == 3000
+    assert pinball.pages  # fat pinball has pages
+    assert pinball.fat
+
+
+def test_pinball_captures_register_state(counter_image):
+    region = RegionSpec(start=1000, length=500)
+    pinball = log_region(counter_image, region)
+    regs = pinball.threads[0].regs
+    # rip must be inside .text
+    assert 0x400000 <= regs.rip < 0x400000 + 4096
+    # rcx is the loop counter: it has been decremented from 2000
+    assert 0 < regs.get("rcx") < 2000
+
+
+def test_fat_vs_lazy_page_counts(counter_image):
+    region = RegionSpec(start=2000, length=1000)
+    fat = log_region(counter_image, region, LogOptions(fat=True))
+    lazy = log_region(counter_image, region, LogOptions(fat=False))
+    assert set(lazy.pages) <= set(fat.pages)
+    assert len(lazy.pages) < len(fat.pages)
+
+
+def test_replay_is_deterministic(counter_image):
+    region = RegionSpec(start=2000, length=3000)
+    pinball = log_region(counter_image, region)
+    first = replay(pinball, seed=7)
+    second = replay(pinball, seed=99)
+    assert first.diverged is None
+    assert second.diverged is None
+    assert first.thread_icounts == second.thread_icounts == {0: 3000}
+    # final memory identical
+    assert (first.machine.mem.read_u64(0x600000)
+            == second.machine.mem.read_u64(0x600000))
+
+
+def test_replay_reaches_exact_region_end(counter_image):
+    region = RegionSpec(start=5000, length=2000)
+    pinball = log_region(counter_image, region)
+    result = replay(pinball)
+    assert result.total_icount == 2000
+    assert result.matches_recording
+
+
+def test_replay_injects_file_reads_without_the_file(file_image):
+    """The file only exists at log time; replay injects read() results."""
+    region = RegionSpec(start=2000, length=50000, name="file.r0")
+    pinball = log_region(file_image, region, fs=_file_fs())
+    # replay on a machine with NO /in.dat and no open fd
+    result = replay(pinball)
+    assert result.matches_recording
+    assert result.injected_syscalls >= 1
+    # the injected read delivered 0x2a into the buffer
+    assert result.machine.mem.read_u8(0x600000) == 0x2A
+
+
+def test_injectionless_replay_file_read_fails(file_image):
+    """-replay:injection 0: the read() re-executes and fails (no fd),
+    mimicking a bare ELFie run."""
+    region = RegionSpec(start=2000, length=50000)
+    pinball = log_region(file_image, region, fs=_file_fs())
+    result = replay(pinball, injection=False)
+    # program runs to its exit, but the read failed, so the buffer got
+    # no data and the exit code differs from the recorded run (0x2a).
+    assert result.status.kind == "exit"
+    assert result.status.code != 0x2A
+
+
+def test_pinball_save_load_round_trip(tmp_path, counter_image):
+    region = RegionSpec(start=1500, length=2500, warmup=500, name="rt.r1",
+                        weight=0.25)
+    pinball = log_region(counter_image, region, LogOptions(name="rt"))
+    pinball.save(str(tmp_path))
+    loaded = Pinball.load(str(tmp_path), "rt")
+    assert loaded.region == pinball.region
+    assert loaded.threads[0].regs == pinball.threads[0].regs
+    assert loaded.pages == pinball.pages
+    assert loaded.schedule == pinball.schedule
+    assert [r.to_json() for r in loaded.syscalls] == [
+        r.to_json() for r in pinball.syscalls
+    ]
+    # and the loaded pinball replays
+    result = replay(loaded)
+    assert result.matches_recording
+
+
+def test_pinball_files_on_disk(tmp_path, counter_image):
+    region = RegionSpec(start=1000, length=1000)
+    pinball = log_region(counter_image, region, LogOptions(name="disk"))
+    pinball.save(str(tmp_path))
+    names = {p.name for p in tmp_path.iterdir()}
+    assert names == {"disk.text", "disk.0.reg", "disk.sel", "disk.race",
+                     "disk.result"}
+
+
+def test_warmup_extends_captured_window(counter_image):
+    region = RegionSpec(start=5000, length=1000, warmup=2000)
+    pinball = log_region(counter_image, region)
+    # captured window covers warmup + region
+    assert pinball.region_icount == 3000
+    # register state is from the warmup start
+    regs = pinball.threads[0].regs
+    assert regs.rip != 0
+
+
+def test_region_past_program_end_raises(counter_image):
+    region = RegionSpec(start=10_000_000, length=100)
+    with pytest.raises(ValueError):
+        log_region(counter_image, region)
+
+
+def test_stack_range_detection(counter_image):
+    region = RegionSpec(start=1000, length=100)
+    pinball = log_region(counter_image, region)
+    start, end = pinball.stack_range()
+    rsp = pinball.threads[0].regs.rsp
+    assert start <= rsp < end
+
+
+def test_sysstate_extracts_fd_proxy(file_image):
+    region = RegionSpec(start=2000, length=50000)
+    pinball = log_region(file_image, region, fs=_file_fs())
+    state = extract_sysstate(pinball)
+    fd_files = state.fd_files
+    assert len(fd_files) == 1
+    proxy = fd_files[0]
+    assert proxy.name == "FD_%d" % proxy.restore_fd
+    assert bytes(proxy.data[:1]) == b"\x2a"
+
+
+def test_sysstate_brk_log(counter_image):
+    region = RegionSpec(start=1000, length=1000)
+    pinball = log_region(counter_image, region)
+    state = extract_sysstate(pinball)
+    assert "first_brk 0x" in state.brk_log()
+    assert state.last_brk >= state.first_brk >= 0
+
+
+def test_sysstate_write_to_filesystem(file_image):
+    region = RegionSpec(start=2000, length=50000)
+    pinball = log_region(file_image, region, fs=_file_fs())
+    state = extract_sysstate(pinball)
+    fs = FileSystem()
+    workdir = state.write_to(fs, "/work")
+    assert workdir == "/work"
+    assert fs.exists("/work/BRK.log")
+    fd_proxy = state.fd_files[0]
+    assert fs.contents("/work/" + fd_proxy.name)[:1] == b"\x2a"
+
+
+def test_sysstate_named_file_opened_in_region():
+    source = """
+    _start:
+        mov rcx, 500
+    warm:
+        sub rcx, 1
+        cmp rcx, 0
+        jnz warm
+        mov rax, 2          ; open inside the region
+        mov rdi, path
+        mov rsi, 0
+        syscall
+        mov rdi, rax
+        mov rax, 0
+        mov rsi, buf
+        mov rdx, 4
+        syscall
+        mov rax, 231
+        mov rdi, 0
+        syscall
+    path:
+        .asciz "/data/cfg.txt"
+    """
+    image = build_executable(source, data_source="buf:\n.zero 8\n")
+    fs = FileSystem()
+    fs.create("/data/cfg.txt", b"WXYZ")
+    pinball = log_region(image, RegionSpec(start=400, length=50000), fs=fs)
+    state = extract_sysstate(pinball)
+    named = state.named_files
+    assert len(named) == 1
+    assert named[0].name == "/data/cfg.txt"
+    assert bytes(named[0].data) == b"WXYZ"
+    out = FileSystem()
+    state.write_to(out, "/ss")
+    assert out.contents("/data/cfg.txt") == b"WXYZ"
+    assert out.contents("/ss/data/cfg.txt") == b"WXYZ"
+
+
+def test_multithreaded_log_and_replay():
+    from repro.workloads import ProgramBuilder, PhaseSpec
+
+    builder = ProgramBuilder(
+        name="mt", threads=4,
+        phases=[PhaseSpec("compute", 2000, buffer_kb=16),
+                PhaseSpec("stream", 2000, buffer_kb=16)],
+    )
+    image = builder.build()
+    region = RegionSpec(start=8000, length=20000, name="mt.r0")
+    pinball = log_region(image, region, seed=3)
+    assert pinball.num_threads >= 2
+    result = replay(pinball)
+    assert result.matches_recording
+    assert result.total_icount == sum(
+        t.region_icount for t in pinball.threads
+    )
+
+
+def test_multithreaded_replay_repeatable():
+    from repro.workloads import ProgramBuilder, PhaseSpec
+
+    builder = ProgramBuilder(
+        name="mt2", threads=4,
+        phases=[PhaseSpec("pointer_chase", 3000, buffer_kb=16)],
+    )
+    image = builder.build()
+    region = RegionSpec(start=5000, length=15000)
+    pinball = log_region(image, region, seed=11)
+    a = replay(pinball, seed=1)
+    b = replay(pinball, seed=2)
+    assert a.diverged is None and b.diverged is None
+    assert a.thread_icounts == b.thread_icounts

@@ -1,0 +1,91 @@
+"""Tests for the register file, flags, and XSAVE serialization."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.isa.registers import (
+    GPR_NAMES,
+    Flags,
+    RegisterFile,
+    XSAVE_AREA_SIZE,
+)
+
+
+def test_gpr_names_match_x86_encoding_order():
+    assert GPR_NAMES[0] == "rax"
+    assert GPR_NAMES[4] == "rsp"
+    assert GPR_NAMES[7] == "rdi"
+    assert GPR_NAMES[15] == "r15"
+    assert len(GPR_NAMES) == 16
+
+
+def test_named_accessors():
+    regs = RegisterFile()
+    regs.set("rbx", 0x1234)
+    assert regs.get("rbx") == 0x1234
+    regs.rsp = 0x7FFF0000
+    assert regs.get("rsp") == 0x7FFF0000
+    regs.rax = -1
+    assert regs.rax == (1 << 64) - 1  # truncated to 64 bits
+
+
+def test_flags_word_round_trip():
+    flags = Flags(zf=True, sf=False, cf=True, of=False)
+    word = flags.to_word()
+    assert word & 0x2  # the always-set bit
+    restored = Flags.from_word(word)
+    assert restored == flags
+
+
+@given(st.booleans(), st.booleans(), st.booleans(), st.booleans())
+def test_flags_round_trip_property(zf, sf, cf, of):
+    flags = Flags(zf=zf, sf=sf, cf=cf, of=of)
+    assert Flags.from_word(flags.to_word()) == flags
+
+
+def test_xsave_area_round_trip():
+    regs = RegisterFile()
+    regs.xmm[0] = 3.25
+    regs.xmm[15] = -1e300
+    regs.mxcsr = 0x1FA0
+    blob = regs.xsave_bytes()
+    assert len(blob) == XSAVE_AREA_SIZE
+    other = RegisterFile()
+    other.xrstor_bytes(blob)
+    assert other.xmm == regs.xmm
+    assert other.mxcsr == regs.mxcsr
+
+
+def test_xrstor_rejects_wrong_size():
+    regs = RegisterFile()
+    with pytest.raises(ValueError):
+        regs.xrstor_bytes(b"\x00" * 10)
+
+
+def test_copy_is_deep():
+    regs = RegisterFile()
+    regs.set("rcx", 7)
+    regs.flags.zf = True
+    clone = regs.copy()
+    clone.set("rcx", 9)
+    clone.flags.zf = False
+    assert regs.get("rcx") == 7
+    assert regs.flags.zf
+
+
+def test_dict_round_trip():
+    regs = RegisterFile()
+    regs.set("r14", 0xDEAD)
+    regs.rip = 0x400123
+    regs.fs_base = 0x7000
+    regs.xmm[3] = 2.5
+    regs.flags.sf = True
+    restored = RegisterFile.from_dict(regs.to_dict())
+    assert restored == regs
+
+
+def test_validation_of_sizes():
+    with pytest.raises(ValueError):
+        RegisterFile(gpr=[0] * 15)
+    with pytest.raises(ValueError):
+        RegisterFile(xmm=[0.0] * 3)

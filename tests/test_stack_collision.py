@@ -1,0 +1,114 @@
+"""The stack-collision problem and its fix (paper §II-B3, Figs. 4-5).
+
+An ELFie carries the parent pinball's stack pages at their original
+addresses, which sit inside the address range where the system loader
+randomizes the new process stack.  Without the fix, some stack
+placements collide and the process dies before any ELFie code executes.
+With the fix (non-allocatable stack sections + startup remap) every
+placement works.
+"""
+
+import pytest
+
+from repro.core import Pinball2Elf, Pinball2ElfOptions, run_elfie
+from repro.core.elfie import prepare_elfie_machine
+from repro.machine.loader import (
+    STACK_RANDOM_PAGES,
+    StackCollisionError,
+    _randomized_stack_top,
+)
+from repro.machine.memory import PAGE_SIZE
+from repro.pinplay import RegionSpec, log_region
+from repro.workloads import build_executable
+
+PROGRAM = """
+_start:
+    mov rcx, 40000
+loop:
+    ld rax, [slot]
+    add rax, rcx
+    st [slot], rax
+    sub rcx, 1
+    cmp rcx, 0
+    jnz loop
+    mov rax, 231
+    mov rdi, 0
+    syscall
+"""
+
+
+@pytest.fixture(scope="module")
+def pinball():
+    image = build_executable(PROGRAM, data_source="slot:\n.quad 0\n")
+    return log_region(image, RegionSpec(start=30_000, length=50_000,
+                                        name="stk.r0"))
+
+
+def _colliding_seeds(pinball, count=400):
+    """Stack seeds whose randomized placement overlaps the pinball
+    stack (computed analytically from the loader's policy)."""
+    stack_start, stack_end = pinball.stack_range()
+    seeds = []
+    for seed in range(count):
+        top = _randomized_stack_top(seed)
+        bottom = top - 16 * PAGE_SIZE
+        if bottom < stack_end and stack_start < top:
+            seeds.append(seed)
+    return seeds
+
+
+def test_randomization_produces_collidable_placements(pinball):
+    """The pinball stack range lies inside the loader's randomization
+    window, so collisions are possible — the paper's Fig. 4 setup."""
+    seeds = _colliding_seeds(pinball)
+    assert seeds, "no colliding placement in 400 seeds (window moved?)"
+
+
+def test_unfixed_elfie_dies_on_collision(pinball):
+    """Without the fix, a colliding placement kills the process during
+    load (or leaves it a stack too small to start)."""
+    artifact = Pinball2Elf(pinball, Pinball2ElfOptions(
+        perf_exit=True, stack_fix=False)).convert()
+    seed = _colliding_seeds(pinball)[0]
+    run = run_elfie(artifact.image, stack_seed=seed)
+    assert run.loader_error is not None
+    assert run.status.kind == "signal"
+    # killed before any ELFie code executed
+    assert run.machine.total_icount() == 0
+
+
+def test_unfixed_elfie_works_on_lucky_placements(pinball):
+    """Non-colliding placements still work without the fix — which is
+    exactly why the bug is intermittent in practice."""
+    artifact = Pinball2Elf(pinball, Pinball2ElfOptions(
+        perf_exit=True, stack_fix=False)).convert()
+    lucky = [seed for seed in range(50)
+             if seed not in set(_colliding_seeds(pinball))]
+    run = run_elfie(artifact.image, stack_seed=lucky[0])
+    assert run.loader_error is None
+    assert run.graceful
+
+
+def test_fixed_elfie_survives_every_colliding_placement(pinball):
+    """With non-allocatable stack sections + startup remap, every
+    placement loads and runs (Fig. 5's procedure)."""
+    artifact = Pinball2Elf(pinball, Pinball2ElfOptions(
+        perf_exit=True, stack_fix=True)).convert()
+    for seed in _colliding_seeds(pinball)[:5]:
+        run = run_elfie(artifact.image, stack_seed=seed)
+        assert run.loader_error is None, seed
+        assert run.graceful, seed
+
+
+def test_fixed_elfie_stack_contents_restored(pinball):
+    """After the startup remap, the pinball's stack bytes are back at
+    their original addresses."""
+    artifact = Pinball2Elf(pinball, Pinball2ElfOptions(
+        perf_exit=False)).convert()
+    machine, _ = prepare_elfie_machine(artifact.image, seed=0)
+    machine.run(max_instructions=400_000)
+    stack_start, stack_end = pinball.stack_range()
+    rsp = pinball.threads[0].regs.rsp
+    expected = pinball.pages[rsp & ~(PAGE_SIZE - 1)][1]
+    got = machine.mem.read(rsp & ~(PAGE_SIZE - 1), 256, access=1)
+    assert got == expected[:256]
