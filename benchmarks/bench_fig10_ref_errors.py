@@ -10,12 +10,26 @@ ELFie fails, reaching 90%+ in most cases.
 Scaled: ref = 8x train; a 6-app subset of int+fp rate keeps the bench
 inside a practical budget (the per-app pipeline is identical for the
 full suite — pass the full dict below to run it).
+
+The per-app pipelines run through the checkpoint farm (see
+bench_fig9_train_validation.py): a cold campaign populates the
+content-addressed store, a warm campaign re-validates from cache with
+zero logger/converter executions, and the bench asserts the farm path
+matches the direct path exactly.
 """
+
+import time
 
 from conftest import FAST, publish
 
-from repro.analysis import Table, bar_chart
-from repro.simpoint import run_pinpoints, validate_with_elfies
+from repro.analysis import Table, bar_chart, timings_table
+from repro.farm import ArtifactStore, executed_jobs, read_manifest
+from repro.simpoint import (
+    elfie_validation,
+    run_pinpoints,
+    run_pinpoints_campaign,
+    validate_with_elfies,
+)
 from repro.workloads import SPEC2017_FP_RATE, SPEC2017_INT_RATE
 
 APPS = ["502.gcc_r", "505.mcf_r", "519.lbm_r", "544.nab_r"]
@@ -23,27 +37,79 @@ if FAST:
     APPS = APPS[:2]
 _ALL = {**SPEC2017_INT_RATE, **SPEC2017_FP_RATE}
 
+FARM_JOBS = 2
 
-def test_fig10_ref_prediction_errors(benchmark, bench_params):
+
+def _campaign(images, store, manifest_path, params, validations):
+    return run_pinpoints_campaign(
+        images, store,
+        jobs=FARM_JOBS,
+        manifest_path=manifest_path,
+        slice_size=params["slice_size"],
+        warmup=params["warmup"],
+        max_k=params["max_k"],
+        max_alternates=2,
+        validations=validations,
+    )
+
+
+def test_fig10_ref_prediction_errors(benchmark, bench_params, tmp_path):
+    input_set = "ref" if not FAST else "train"
+    images = {name: _ALL[name].build(input_set) for name in APPS}
+    validations = [
+        elfie_validation("with_alternates", trials=1),
+        elfie_validation("no_alternates", trials=1, use_alternates=False),
+    ]
+    store = ArtifactStore(str(tmp_path / "store"))
+    cold_manifest = str(tmp_path / "cold.jsonl")
+    warm_manifest = str(tmp_path / "warm.jsonl")
+
     def experiment():
-        results = {}
-        for name in APPS:
-            app = _ALL[name]
-            image = app.build("ref" if not FAST else "train")
-            pinpoints = run_pinpoints(
-                image, app.name,
-                slice_size=bench_params["slice_size"],
-                warmup=bench_params["warmup"],
-                max_k=bench_params["max_k"],
-                max_alternates=2,
-            )
-            validation = validate_with_elfies(pinpoints, trials=1)
-            no_alternates = validate_with_elfies(pinpoints, trials=1,
-                                                 use_alternates=False)
-            results[name] = (validation, no_alternates)
-        return results
+        start = time.perf_counter()
+        cold = _campaign(images, store, cold_manifest, bench_params,
+                         validations)
+        cold_wall = time.perf_counter() - start
+        start = time.perf_counter()
+        warm = _campaign(images, store, warm_manifest, bench_params,
+                         validations)
+        warm_wall = time.perf_counter() - start
+        results = {
+            name: (outcome.validations["with_alternates"],
+                   outcome.validations["no_alternates"])
+            for name, outcome in cold.items()
+        }
+        return results, warm, cold_wall, warm_wall
 
-    results = benchmark.pedantic(experiment, rounds=1, iterations=1)
+    results, warm, cold_wall, warm_wall = benchmark.pedantic(
+        experiment, rounds=1, iterations=1)
+
+    # Farm path == direct path, bit for bit.
+    reference_app = APPS[0]
+    direct = run_pinpoints(
+        images[reference_app], reference_app,
+        slice_size=bench_params["slice_size"],
+        warmup=bench_params["warmup"],
+        max_k=bench_params["max_k"],
+        max_alternates=2,
+    )
+    ref_with = validate_with_elfies(direct, trials=1)
+    ref_without = validate_with_elfies(direct, trials=1,
+                                       use_alternates=False)
+    farm_with, farm_without = results[reference_app]
+    assert farm_with.abs_error_percent == ref_with.abs_error_percent
+    assert farm_with.covered_weight == ref_with.covered_weight
+    assert farm_without.covered_weight == ref_without.covered_weight
+
+    # Warm campaign: fully cached, no capture or conversion work.
+    warm_records = read_manifest(warm_manifest)
+    assert not executed_jobs(warm_records, "log")
+    assert not executed_jobs(warm_records, "convert")
+    assert cold_wall / warm_wall >= 5.0
+    for name in APPS:
+        assert (warm[name].validations["with_alternates"].abs_error_percent
+                == results[name][0].abs_error_percent)
+    cold_records = read_manifest(cold_manifest)
+    assert all(record["state"] == "ok" for record in cold_records)
 
     table = Table(
         title="Fig. 10: ref PinPoints prediction errors (ELFie-based)",
@@ -62,8 +128,16 @@ def test_fig10_ref_prediction_errors(benchmark, bench_params):
             used,
         )
         chart.append((name, validation.abs_error_percent))
-    rendering = table.render() + "\n\n" + bar_chart(
-        "ref prediction error by app (%)", chart, unit="%")
+    stats = store.stats()
+    rendering = "\n\n".join([
+        table.render(),
+        bar_chart("ref prediction error by app (%)", chart, unit="%"),
+        timings_table("Checkpoint-farm campaign: cold vs warm store",
+                      [("cold (empty store)", cold_wall),
+                       ("warm (fully cached)", warm_wall)]),
+        "store: %d artifacts, dedup %.1fx, compression %.1fx"
+        % (stats.objects, stats.dedup_ratio, stats.compression_ratio),
+    ])
     publish("fig10_ref_errors", rendering)
 
     # Shape: coverage reaches 90%+ in most cases (paper's claim), and

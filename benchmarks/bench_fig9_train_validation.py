@@ -12,13 +12,27 @@ predicted CPI are computed three ways:
 
 The paper's observation to reproduce: the errors do not match exactly
 across methods, but follow similar trends — and gcc is the hardest app.
+
+The per-app pipelines run through the **checkpoint farm**: a campaign
+of profile → cluster → log → pinball2elf → validate jobs fanned over a
+worker pool and memoized in a content-addressed artifact store.  The
+bench checks the farm path is numerically identical to the direct
+path, then re-runs the campaign warm (fully cached) and reports the
+cold-vs-warm wall-time reduction — the paper's scale argument: regions
+are validated *once* and reused, not regenerated per study.
 """
+
+import time
 
 from conftest import FAST, publish
 
-from repro.analysis import Table, bar_chart
+from repro.analysis import Table, bar_chart, timings_table
+from repro.farm import ArtifactStore, executed_jobs, read_manifest
 from repro.simpoint import (
+    FarmValidation,
+    elfie_validation,
     run_pinpoints,
+    run_pinpoints_campaign,
     validate_with_elfies,
     validate_with_simulator,
 )
@@ -28,17 +42,13 @@ from repro.workloads import SPEC2017_INT_RATE
 APPS = list(SPEC2017_INT_RATE) if not FAST else [
     "502.gcc_r", "505.mcf_r", "531.deepsjeng_r"]
 
+#: Worker processes for the campaign (the acceptance target is
+#: concurrency with jobs >= 2, not machine-dependent speedups).
+FARM_JOBS = 2
 
-def _validate_one(app_name, params):
-    app = SPEC2017_INT_RATE[app_name]
-    image = app.build(params["input_set"])
-    pinpoints = run_pinpoints(
-        image, app.name,
-        slice_size=params["slice_size"],
-        warmup=params["warmup"],
-        max_k=params["max_k"],
-        max_alternates=2,
-    )
+
+def _simulated_validation(pinpoints, image):
+    """The traditional path: everything through the detailed simulator."""
     simulator = CoreSim(CoreSimConfig(frontend="sde"))
 
     def whole_cpi():
@@ -53,22 +63,99 @@ def _validate_one(app_name, params):
             return None  # the ELFie died before the window completed
         return result.measured_cpi
 
-    simulated = validate_with_simulator(pinpoints, whole_cpi, region_cpi)
-    elfie_a = validate_with_elfies(pinpoints, seed=100,
-                                   trials=params["trials"])
-    elfie_b = validate_with_elfies(pinpoints, seed=2200,
-                                   trials=params["trials"])
-    return simulated, elfie_a, elfie_b
+    return validate_with_simulator(pinpoints, whole_cpi, region_cpi)
 
 
-def test_fig9_prediction_errors(benchmark, bench_params):
+def _campaign(images, store, manifest_path, params, validations):
+    return run_pinpoints_campaign(
+        images, store,
+        jobs=FARM_JOBS,
+        manifest_path=manifest_path,
+        slice_size=params["slice_size"],
+        warmup=params["warmup"],
+        max_k=params["max_k"],
+        max_alternates=2,
+        validations=validations,
+    )
+
+
+def _direct_reference(image, app_name, params):
+    """The pre-farm serial path, for the numeric-identity check."""
+    pinpoints = run_pinpoints(
+        image, app_name,
+        slice_size=params["slice_size"],
+        warmup=params["warmup"],
+        max_k=params["max_k"],
+        max_alternates=2,
+    )
+    return (
+        _simulated_validation(pinpoints, image),
+        validate_with_elfies(pinpoints, seed=100, trials=params["trials"]),
+        validate_with_elfies(pinpoints, seed=2200, trials=params["trials"]),
+    )
+
+
+def test_fig9_prediction_errors(benchmark, bench_params, tmp_path):
+    images = {name: SPEC2017_INT_RATE[name].build(bench_params["input_set"])
+              for name in APPS}
+    validations = [
+        FarmValidation("simulated", _simulated_validation, {}),
+        elfie_validation("elfie_a", seed=100,
+                         trials=bench_params["trials"]),
+        elfie_validation("elfie_b", seed=2200,
+                         trials=bench_params["trials"]),
+    ]
+    store = ArtifactStore(str(tmp_path / "store"))
+    cold_manifest = str(tmp_path / "cold.jsonl")
+    warm_manifest = str(tmp_path / "warm.jsonl")
+
     def experiment():
-        results = {}
-        for app_name in APPS:
-            results[app_name] = _validate_one(app_name, bench_params)
-        return results
+        start = time.perf_counter()
+        cold = _campaign(images, store, cold_manifest, bench_params,
+                         validations)
+        cold_wall = time.perf_counter() - start
+        start = time.perf_counter()
+        warm = _campaign(images, store, warm_manifest, bench_params,
+                         validations)
+        warm_wall = time.perf_counter() - start
+        results = {
+            name: (outcome.validations["simulated"],
+                   outcome.validations["elfie_a"],
+                   outcome.validations["elfie_b"])
+            for name, outcome in cold.items()
+        }
+        return results, warm, cold_wall, warm_wall
 
-    results = benchmark.pedantic(experiment, rounds=1, iterations=1)
+    results, warm, cold_wall, warm_wall = benchmark.pedantic(
+        experiment, rounds=1, iterations=1)
+
+    # The farm path is numerically identical to the direct path.
+    reference_app = APPS[0]
+    ref_sim, ref_a, ref_b = _direct_reference(
+        images[reference_app], reference_app, bench_params)
+    farm_sim, farm_a, farm_b = results[reference_app]
+    assert farm_sim.abs_error_percent == ref_sim.abs_error_percent
+    assert farm_a.abs_error_percent == ref_a.abs_error_percent
+    assert farm_b.abs_error_percent == ref_b.abs_error_percent
+    assert farm_a.covered_weight == ref_a.covered_weight
+
+    # Warm run: everything served from the store, no logger/converter
+    # executions, and the same numbers come back.
+    warm_records = read_manifest(warm_manifest)
+    assert not executed_jobs(warm_records, "log")
+    assert not executed_jobs(warm_records, "convert")
+    assert cold_wall / warm_wall >= 5.0
+    for name in APPS:
+        assert (warm[name].validations["elfie_a"].abs_error_percent
+                == results[name][1].abs_error_percent)
+
+    # The cold campaign fanned out: every job is in the manifest, and
+    # with jobs >= 2 more than one worker process executed them.
+    cold_records = read_manifest(cold_manifest)
+    assert all(record["state"] == "ok" for record in cold_records)
+    workers = {record["worker"] for record in cold_records
+               if record["cache"] == "miss" and record["worker"]}
+    assert FARM_JOBS < 2 or len(workers) >= 2
 
     table = Table(
         title=("Fig. 9: prediction errors (%), simulation-based vs two "
@@ -86,8 +173,17 @@ def test_fig9_prediction_errors(benchmark, bench_params):
             "%.0f%%" % (100 * elfie_a.covered_weight),
         )
         chart_entries.append((app_name, elfie_a.abs_error_percent))
-    rendering = table.render() + "\n\n" + bar_chart(
-        "ELFie-based prediction error by app (%)", chart_entries, unit="%")
+    stats = store.stats()
+    rendering = "\n\n".join([
+        table.render(),
+        bar_chart("ELFie-based prediction error by app (%)",
+                  chart_entries, unit="%"),
+        timings_table("Checkpoint-farm campaign: cold vs warm store",
+                      [("cold (empty store)", cold_wall),
+                       ("warm (fully cached)", warm_wall)]),
+        "store: %d artifacts, dedup %.1fx, compression %.1fx"
+        % (stats.objects, stats.dedup_ratio, stats.compression_ratio),
+    ])
     publish("fig9_train_validation", rendering)
 
     errors_sim = [simulated.abs_error_percent

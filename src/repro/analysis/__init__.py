@@ -1,7 +1,7 @@
 """Measurement and reporting helpers for the case studies."""
 
 from repro.analysis.perfstat import PerfStats, perf_stat_program, perf_stat_elfie
-from repro.analysis.report import Table, format_table, bar_chart
+from repro.analysis.report import Table, format_table, bar_chart, timings_table
 
 __all__ = [
     "PerfStats",
@@ -10,4 +10,5 @@ __all__ = [
     "Table",
     "format_table",
     "bar_chart",
+    "timings_table",
 ]

@@ -60,6 +60,23 @@ def format_table(title: str, headers: Sequence[str],
     return table.render()
 
 
+def timings_table(title: str,
+                  entries: Sequence[Tuple[str, float]]) -> str:
+    """Wall-time comparison table with speedups vs the first entry.
+
+    Used by the farm-backed benchmarks to report cold (empty store) vs
+    warm (fully cached) campaign timings.
+    """
+    table = Table(title=title, headers=["run", "wall time (s)", "speedup"])
+    if not entries:
+        return table.render()
+    baseline = entries[0][1]
+    for label, seconds in entries:
+        speedup = (baseline / seconds) if seconds > 0 else float("inf")
+        table.add_row(label, "%.3f" % seconds, "%.1fx" % speedup)
+    return table.render()
+
+
 def bar_chart(title: str, entries: Sequence[Tuple[str, float]],
               width: int = 50, unit: str = "") -> str:
     """Horizontal ASCII bar chart (the benches' 'figure' output)."""

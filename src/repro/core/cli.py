@@ -11,6 +11,13 @@ workflows read like the paper's:
     python -m repro.core.cli logger     --binary prog.elf --start N \\
         --length M [--warmup W] [--fat/--no-fat] --out DIR --name NAME
 
+The checkpoint farm (store-memoized, parallel PinPoints campaigns):
+
+    python -m repro.core.cli farm run   --store .farm --app 502.gcc_r \\
+        --app 505.mcf_r --jobs 4 --manifest run.jsonl
+    python -m repro.core.cli farm stats --store .farm
+    python -m repro.core.cli farm gc    --store .farm
+
 Binaries are PX ELF executables (build them with
 ``repro.workloads.build_executable`` or the assembler).
 """
@@ -127,6 +134,60 @@ def _cmd_run(args: argparse.Namespace) -> int:
     return run.status.code if run.status.kind == "exit" else 128
 
 
+def _cmd_farm_run(args: argparse.Namespace) -> int:
+    from repro.farm import ArtifactStore, read_manifest, summarize_manifest
+    from repro.simpoint import elfie_validation, run_pinpoints_campaign
+    from repro.workloads import get_app
+
+    store = ArtifactStore(args.store)
+    images = {}
+    for name in args.app:
+        images[name] = get_app(name).build(args.input)
+    validations = [elfie_validation("elfie", seed=args.validate_seed,
+                                    trials=args.trials)]
+    outcomes = run_pinpoints_campaign(
+        images, store,
+        jobs=args.jobs,
+        manifest_path=args.manifest,
+        slice_size=args.slice_size,
+        warmup=args.warmup,
+        max_k=args.max_k,
+        max_alternates=args.alternates,
+        seed=args.seed,
+        validations=validations,
+    )
+    for name, outcome in outcomes.items():
+        validation = outcome.validations["elfie"]
+        print("%s: %d regions, %d ELFies, |error| %.2f%%, coverage %.0f%%"
+              % (name, len(outcome.result.primary_regions),
+                 len(outcome.result.elfies),
+                 validation.abs_error_percent,
+                 100 * validation.covered_weight))
+    if args.manifest:
+        summary = summarize_manifest(read_manifest(args.manifest))
+        print("jobs: %d  cache hits: %d  misses: %d  retries: %d  "
+              "workers: %d" % (summary["jobs"], summary["cache_hits"],
+                               summary["cache_misses"], summary["retries"],
+                               len(summary["workers"])))
+    return 0
+
+
+def _cmd_farm_stats(args: argparse.Namespace) -> int:
+    from repro.farm import ArtifactStore
+
+    print(json.dumps(ArtifactStore(args.store).stats().to_json(), indent=2))
+    return 0
+
+
+def _cmd_farm_gc(args: argparse.Namespace) -> int:
+    from repro.farm import ArtifactStore
+
+    result = ArtifactStore(args.store).gc()
+    print("removed %d blocks (%d bytes), %d live"
+          % (result.removed_blocks, result.freed_bytes, result.live_blocks))
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro.core.cli",
@@ -179,6 +240,41 @@ def build_parser() -> argparse.ArgumentParser:
     runner.add_argument("elfie")
     runner.add_argument("--seed", type=int, default=0)
     runner.set_defaults(func=_cmd_run)
+
+    farm = sub.add_parser(
+        "farm", help="checkpoint farm: cached, parallel PinPoints campaigns")
+    farm_sub = farm.add_subparsers(dest="farm_command", required=True)
+
+    farm_run = farm_sub.add_parser(
+        "run", help="run PinPoints campaigns through the artifact store")
+    farm_run.add_argument("--store", default=".farm",
+                          help="artifact store directory (default .farm)")
+    farm_run.add_argument("--app", action="append", required=True,
+                          help="suite app name (repeatable), e.g. 502.gcc_r")
+    farm_run.add_argument("--input", default="train",
+                          choices=("test", "train", "ref"))
+    farm_run.add_argument("--jobs", type=int, default=None,
+                          help="worker processes (default: cpu count)")
+    farm_run.add_argument("--slice-size", type=int, default=20_000)
+    farm_run.add_argument("--warmup", type=int, default=80_000)
+    farm_run.add_argument("--max-k", type=int, default=12)
+    farm_run.add_argument("--alternates", type=int, default=2)
+    farm_run.add_argument("--seed", type=int, default=0)
+    farm_run.add_argument("--validate-seed", type=int, default=0)
+    farm_run.add_argument("--trials", type=int, default=1)
+    farm_run.add_argument("--manifest", default=None,
+                          help="write a JSON-lines run manifest here")
+    farm_run.set_defaults(func=_cmd_farm_run)
+
+    farm_stats = farm_sub.add_parser("stats",
+                                     help="artifact store statistics")
+    farm_stats.add_argument("--store", default=".farm")
+    farm_stats.set_defaults(func=_cmd_farm_stats)
+
+    farm_gc = farm_sub.add_parser(
+        "gc", help="sweep unreferenced blocks from the store")
+    farm_gc.add_argument("--store", default=".farm")
+    farm_gc.set_defaults(func=_cmd_farm_gc)
     return parser
 
 

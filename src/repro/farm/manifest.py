@@ -1,0 +1,96 @@
+"""JSON-lines run manifests: one record per job, for observability.
+
+A campaign appends one record per finished job (including cache hits
+and failures) to a ``.jsonl`` file.  Records are flat dicts so the file
+greps and ``jq``s well::
+
+    {"job": "502.gcc_r/log0", "stage": "log", "state": "ok",
+     "cache": "miss", "wall_s": 1.84, "worker": 512, "attempts": 1, ...}
+
+``state`` is ``ok`` | ``failed`` | ``blocked`` (an upstream dependency
+failed); ``cache`` is ``hit`` | ``miss`` | ``none`` (uncached job).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from typing import Any, Dict, List, Optional
+
+Record = Dict[str, Any]
+
+
+class RunManifest:
+    """Appends job records to a JSON-lines file as they complete."""
+
+    def __init__(self, path: str) -> None:
+        self.path = path
+        directory = os.path.dirname(path)
+        if directory:
+            os.makedirs(directory, exist_ok=True)
+        # truncate: one manifest describes one campaign run
+        with open(path, "w"):
+            pass
+
+    def append(self, record: Record) -> None:
+        record = dict(record)
+        record.setdefault("ts", time.time())
+        with open(self.path, "a") as handle:
+            handle.write(json.dumps(record, sort_keys=True) + "\n")
+
+
+def read_manifest(path: str) -> List[Record]:
+    records: List[Record] = []
+    with open(path) as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                records.append(json.loads(line))
+    return records
+
+
+def summarize_manifest(records: List[Record]) -> Dict[str, Any]:
+    """Aggregate counts a campaign prints after a run."""
+    summary: Dict[str, Any] = {
+        "jobs": len(records),
+        "ok": 0, "failed": 0, "blocked": 0,
+        "cache_hits": 0, "cache_misses": 0,
+        "retries": 0,
+        "executed_wall_s": 0.0,
+        "workers": set(),
+        "stages": {},
+    }
+    for record in records:
+        state = record.get("state", "")
+        if state in summary:
+            summary[state] += 1
+        cache = record.get("cache")
+        if cache == "hit":
+            summary["cache_hits"] += 1
+        elif cache == "miss":
+            summary["cache_misses"] += 1
+        summary["retries"] += max(0, record.get("attempts", 1) - 1)
+        if cache != "hit" and record.get("wall_s"):
+            summary["executed_wall_s"] += record["wall_s"]
+        if record.get("worker"):
+            summary["workers"].add(record["worker"])
+        stage = record.get("stage") or "other"
+        per_stage = summary["stages"].setdefault(
+            stage, {"jobs": 0, "hits": 0, "executed": 0})
+        per_stage["jobs"] += 1
+        if cache == "hit":
+            per_stage["hits"] += 1
+        elif state == "ok":
+            per_stage["executed"] += 1
+    summary["workers"] = sorted(summary["workers"])
+    summary["executed_wall_s"] = round(summary["executed_wall_s"], 4)
+    return summary
+
+
+def executed_jobs(records: List[Record],
+                  stage: Optional[str] = None) -> List[Record]:
+    """Records of jobs that actually ran (not cache hits/blocked)."""
+    return [record for record in records
+            if record.get("state") == "ok" and record.get("cache") != "hit"
+            and (stage is None or record.get("stage") == stage)]

@@ -1,0 +1,297 @@
+"""The campaign runner: execute a job graph over a worker pool.
+
+Scheduling rules:
+
+- a job is *ready* once all dependencies completed successfully;
+- ready jobs whose memoization key is present in the artifact store are
+  **cache hits**: the stored result is served without executing;
+- other ready jobs fan out across a ``multiprocessing`` pool
+  (``jobs=N``, default ``os.cpu_count()``); ``jobs=1`` runs everything
+  in-process, which is also the reference semantics the pool must match;
+- a failing job is retried with capped exponential backoff, then marked
+  ``failed``; jobs downstream of a failure are marked ``blocked``;
+- every terminal state appends one record to the run manifest.
+
+Results are held in the parent; jobs with a key are written to the
+store as they complete, so the next campaign with unchanged keys is a
+warm run.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from repro.farm.jobs import Job, JobGraph, resolve_refs
+from repro.farm.manifest import RunManifest
+from repro.farm.store import ArtifactStore, StoreCorruption
+
+
+class JobError(Exception):
+    """A job exhausted its retries."""
+
+
+class CampaignError(Exception):
+    """One or more jobs failed (strict mode)."""
+
+    def __init__(self, failures: Dict[str, str]) -> None:
+        self.failures = failures
+        lines = ["%s: %s" % (name, error)
+                 for name, error in sorted(failures.items())]
+        super().__init__("campaign failed: " + "; ".join(lines))
+
+
+def _call_job(fn, args, kwargs):
+    """Worker-side wrapper: returns (worker pid, wall seconds, result)."""
+    start = time.perf_counter()
+    result = fn(*args, **kwargs)
+    return os.getpid(), time.perf_counter() - start, result
+
+
+@dataclass
+class _Pending:
+    """Book-keeping for one submitted-but-unfinished job."""
+
+    job: Job
+    async_result: Any
+    attempts: int
+    submitted: float
+
+
+@dataclass
+class RunReport:
+    """What :meth:`FarmRunner.run` observed, beyond the results dict."""
+
+    states: Dict[str, str] = field(default_factory=dict)
+    cache: Dict[str, str] = field(default_factory=dict)
+    failures: Dict[str, str] = field(default_factory=dict)
+
+    @property
+    def cache_hits(self) -> int:
+        return sum(1 for value in self.cache.values() if value == "hit")
+
+
+class FarmRunner:
+    """Executes :class:`JobGraph`s with memoization, retries, fan-out."""
+
+    def __init__(self, store: Optional[ArtifactStore] = None,
+                 jobs: Optional[int] = None,
+                 retries: int = 2,
+                 backoff: float = 0.05,
+                 max_backoff: float = 2.0,
+                 manifest_path: Optional[str] = None) -> None:
+        self.store = store
+        self.jobs = max(1, jobs if jobs is not None else (os.cpu_count() or 1))
+        self.retries = retries
+        self.backoff = backoff
+        self.max_backoff = max_backoff
+        self.manifest = RunManifest(manifest_path) if manifest_path else None
+        self.report = RunReport()
+
+    # -- manifest ----------------------------------------------------------
+
+    def _record(self, job: Job, state: str, cache: str, wall_s: float,
+                worker: Optional[int], attempts: int,
+                error: str = "") -> None:
+        self.report.states[job.name] = state
+        self.report.cache[job.name] = cache
+        if state != "ok":
+            self.report.failures[job.name] = error or state
+        if self.manifest is not None:
+            self.manifest.append({
+                "job": job.name,
+                "stage": job.stage,
+                "key": job.key,
+                "state": state,
+                "cache": cache,
+                "wall_s": round(wall_s, 6),
+                "worker": worker,
+                "attempts": attempts,
+                "error": error,
+            })
+
+    # -- execution ---------------------------------------------------------
+
+    def run(self, graph: JobGraph, strict: bool = True) -> Dict[str, Any]:
+        """Run every job; returns ``{job name: result}``.
+
+        With ``strict`` (default) raises :class:`CampaignError` after
+        the graph drains if anything failed; non-strict returns the
+        partial results.
+        """
+        self.report = RunReport()
+        results: Dict[str, Any] = {}
+        done: Dict[str, str] = {}          # name -> ok|failed|blocked
+        inflight: Dict[str, _Pending] = {}
+        retry_at: Dict[str, tuple] = {}    # name -> (when, attempts)
+        pool = (multiprocessing.Pool(processes=self.jobs)
+                if self.jobs > 1 else None)
+        try:
+            while True:
+                progressed = self._schedule(graph, results, done,
+                                            inflight, retry_at, pool)
+                progressed |= self._collect(graph, results, done,
+                                            inflight, retry_at, pool)
+                remaining = [name for name in graph.order()
+                             if name not in done]
+                if not remaining and not inflight:
+                    break
+                if not progressed:
+                    if inflight or retry_at:
+                        time.sleep(0.003)
+                    else:
+                        # jobs remain but none can ever become ready
+                        for name in remaining:
+                            self._record(graph.jobs[name], "blocked", "none",
+                                         0.0, None, 0,
+                                         "dependency never completed")
+                            done[name] = "blocked"
+                        break
+        finally:
+            if pool is not None:
+                pool.terminate()
+                pool.join()
+        if strict and self.report.failures:
+            raise CampaignError(dict(self.report.failures))
+        return results
+
+    def _ready(self, graph: JobGraph, results: Dict[str, Any],
+               done: Dict[str, str], inflight: Dict[str, _Pending],
+               retry_at: Dict[str, tuple]) -> List[Job]:
+        ready: List[Job] = []
+        for name in graph.order():
+            if name in done or name in inflight or name in retry_at:
+                continue
+            job = graph.jobs[name]
+            dep_states = [done.get(dep) for dep in job.deps]
+            if any(state in ("failed", "blocked") for state in dep_states):
+                self._record(job, "blocked", "none", 0.0, None, 0,
+                             "upstream failure: %s" % ", ".join(
+                                 dep for dep in job.deps
+                                 if done.get(dep) in ("failed", "blocked")))
+                done[name] = "blocked"
+                continue
+            if all(state == "ok" for state in dep_states):
+                ready.append(job)
+        return ready
+
+    def _schedule(self, graph, results, done, inflight, retry_at,
+                  pool) -> bool:
+        progressed = False
+        now = time.time()
+        # resubmit due retries
+        for name in list(retry_at):
+            when, attempts = retry_at[name]
+            if when <= now:
+                del retry_at[name]
+                job = graph.jobs[name]
+                progressed |= self._launch(job, results, done, inflight,
+                                           pool, attempts, graph)
+        for job in self._ready(graph, results, done, inflight, retry_at):
+            # cache lookup happens at schedule time, in the parent
+            if job.key and self.store is not None and \
+                    self.store.contains(job.key):
+                try:
+                    result = self.store.get(job.key)
+                except StoreCorruption:
+                    # a damaged entry must never poison a campaign:
+                    # drop it and recompute
+                    self.store.delete(job.key)
+                else:
+                    results[job.name] = result
+                    done[job.name] = "ok"
+                    self._record(job, "ok", "hit", 0.0, None, 0)
+                    self._finish(job, result, graph, results)
+                    progressed = True
+                    continue
+            progressed |= self._launch(job, results, done, inflight, pool,
+                                       attempts=1, graph=graph)
+        return progressed
+
+    def _launch(self, job: Job, results, done, inflight, pool,
+                attempts: int, graph) -> bool:
+        args = resolve_refs(job.args, results)
+        kwargs = resolve_refs(job.kwargs, results)
+        if pool is None or job.local:
+            self._run_inline(job, args, kwargs, results, done, graph,
+                             attempts)
+            return True
+        async_result = pool.apply_async(_call_job, (job.fn, args, kwargs))
+        inflight[job.name] = _Pending(job=job, async_result=async_result,
+                                      attempts=attempts,
+                                      submitted=time.time())
+        return True
+
+    def _run_inline(self, job: Job, args, kwargs, results, done, graph,
+                    attempts: int) -> None:
+        max_attempts = 1 + (job.retries if job.retries is not None
+                            else self.retries)
+        error = ""
+        while attempts <= max_attempts:
+            start = time.perf_counter()
+            try:
+                result = job.fn(*args, **kwargs)
+            except Exception as exc:
+                error = "%s: %s" % (type(exc).__name__, exc)
+                if attempts < max_attempts:
+                    time.sleep(self._delay(attempts))
+                attempts += 1
+                continue
+            wall = time.perf_counter() - start
+            self._complete(job, result, wall, os.getpid(), attempts,
+                           results, done, graph)
+            return
+        done[job.name] = "failed"
+        self._record(job, "failed", "miss" if job.key else "none", 0.0,
+                     os.getpid(), max_attempts, error)
+
+    def _collect(self, graph, results, done, inflight, retry_at,
+                 pool) -> bool:
+        progressed = False
+        for name in list(inflight):
+            pending = inflight[name]
+            if not pending.async_result.ready():
+                continue
+            del inflight[name]
+            progressed = True
+            job = pending.job
+            try:
+                worker, wall, result = pending.async_result.get()
+            except Exception as exc:
+                error = "%s: %s" % (type(exc).__name__, exc)
+                max_attempts = 1 + (job.retries if job.retries is not None
+                                    else self.retries)
+                if pending.attempts < max_attempts:
+                    retry_at[name] = (
+                        time.time() + self._delay(pending.attempts),
+                        pending.attempts + 1,
+                    )
+                else:
+                    done[name] = "failed"
+                    self._record(job, "failed",
+                                 "miss" if job.key else "none",
+                                 0.0, None, pending.attempts, error)
+                continue
+            self._complete(job, result, wall, worker, pending.attempts,
+                           results, done, graph)
+        return progressed
+
+    def _delay(self, attempt: int) -> float:
+        return min(self.backoff * (2 ** (attempt - 1)), self.max_backoff)
+
+    def _complete(self, job: Job, result, wall: float, worker: int,
+                  attempts: int, results, done, graph) -> None:
+        if job.key and self.store is not None:
+            self.store.put(job.key, result, job.kind)
+        results[job.name] = result
+        done[job.name] = "ok"
+        self._record(job, "ok", "miss" if job.key else "none", wall,
+                     worker, attempts)
+        self._finish(job, result, graph, results)
+
+    def _finish(self, job: Job, result, graph, results) -> None:
+        if job.expand is not None:
+            job.expand(result, graph, results)

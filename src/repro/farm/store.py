@@ -1,0 +1,316 @@
+"""The on-disk, content-addressed checkpoint-artifact store.
+
+Layout under the store root::
+
+    store.json             format marker
+    blocks/<d2>/<digest>   zlib-compressed block contents
+    objects/<k2>/<key>.json  artifact meta (kind + codec record + sizes)
+
+Blocks are shared: two artifacts referencing the same page store it
+once.  Every read decompresses the block and re-hashes it; a mismatch
+against the addressed digest raises :class:`StoreCorruption`, so a
+flipped bit on disk can never silently reach a simulation.
+
+Writes are crash-safe in the usual content-addressed way: blocks are
+written first (atomic rename, idempotent), the meta record last, so a
+partially written artifact is simply absent.  ``gc`` mark-sweeps the
+block pool against the live object set.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+import zlib
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterator, List, Optional
+
+from repro.farm import codec
+
+_FORMAT = {"format": "repro-farm-store", "version": 1}
+
+
+class StoreCorruption(Exception):
+    """An on-disk block or meta record failed integrity verification."""
+
+
+@dataclass
+class StoreStats:
+    """Aggregate store statistics (the ``farm stats`` report)."""
+
+    objects: int = 0
+    objects_by_kind: Dict[str, int] = field(default_factory=dict)
+    blocks: int = 0
+    #: Bytes the artifacts describe (sum of referenced block sizes,
+    #: counting shared blocks once per reference).
+    logical_bytes: int = 0
+    #: Raw bytes of the unique blocks (post-dedup, pre-compression).
+    unique_bytes: int = 0
+    #: Compressed bytes on disk.
+    stored_bytes: int = 0
+
+    @property
+    def dedup_ratio(self) -> float:
+        """logical / unique: >1 means sharing is paying off."""
+        return self.logical_bytes / self.unique_bytes if self.unique_bytes else 1.0
+
+    @property
+    def compression_ratio(self) -> float:
+        """unique / stored: raw-to-compressed factor."""
+        return self.unique_bytes / self.stored_bytes if self.stored_bytes else 1.0
+
+    def to_json(self) -> dict:
+        return {
+            "objects": self.objects,
+            "objects_by_kind": dict(sorted(self.objects_by_kind.items())),
+            "blocks": self.blocks,
+            "logical_bytes": self.logical_bytes,
+            "unique_bytes": self.unique_bytes,
+            "stored_bytes": self.stored_bytes,
+            "dedup_ratio": round(self.dedup_ratio, 3),
+            "compression_ratio": round(self.compression_ratio, 3),
+        }
+
+
+@dataclass
+class GCStats:
+    """Result of a mark-sweep pass."""
+
+    live_blocks: int = 0
+    removed_blocks: int = 0
+    freed_bytes: int = 0
+
+    def to_json(self) -> dict:
+        return {"live_blocks": self.live_blocks,
+                "removed_blocks": self.removed_blocks,
+                "freed_bytes": self.freed_bytes}
+
+
+def _atomic_write(path: str, data: bytes) -> None:
+    directory = os.path.dirname(path)
+    os.makedirs(directory, exist_ok=True)
+    fd, tmp = tempfile.mkstemp(dir=directory, prefix=".tmp-")
+    try:
+        with os.fdopen(fd, "wb") as handle:
+            handle.write(data)
+        os.replace(tmp, path)
+    except BaseException:
+        if os.path.exists(tmp):
+            os.unlink(tmp)
+        raise
+
+
+class ArtifactStore:
+    """A content-addressed repository for pinballs, ELFies and results."""
+
+    def __init__(self, root: str, compress_level: int = 6) -> None:
+        self.root = root
+        self.compress_level = compress_level
+        os.makedirs(self._blocks_dir, exist_ok=True)
+        os.makedirs(self._objects_dir, exist_ok=True)
+        marker = os.path.join(root, "store.json")
+        if not os.path.exists(marker):
+            _atomic_write(marker, json.dumps(_FORMAT).encode("utf-8"))
+
+    # -- paths -------------------------------------------------------------
+
+    @property
+    def _blocks_dir(self) -> str:
+        return os.path.join(self.root, "blocks")
+
+    @property
+    def _objects_dir(self) -> str:
+        return os.path.join(self.root, "objects")
+
+    def _block_path(self, digest: str) -> str:
+        return os.path.join(self._blocks_dir, digest[:2], digest)
+
+    def _meta_path(self, key: str) -> str:
+        return os.path.join(self._objects_dir, key[:2], key + ".json")
+
+    # -- blocks ------------------------------------------------------------
+
+    def _write_block(self, digest: str, data: bytes) -> None:
+        path = self._block_path(digest)
+        if os.path.exists(path):
+            return  # content-addressed: existing contents are identical
+        _atomic_write(path, zlib.compress(data, self.compress_level))
+
+    def _read_block(self, digest: str) -> bytes:
+        path = self._block_path(digest)
+        try:
+            with open(path, "rb") as handle:
+                compressed = handle.read()
+        except FileNotFoundError:
+            raise StoreCorruption("missing block %s" % digest)
+        try:
+            data = zlib.decompress(compressed)
+        except zlib.error as exc:
+            self._drop_corrupt_block(path)
+            raise StoreCorruption("block %s: %s" % (digest, exc))
+        if codec.sha256_hex(data) != digest:
+            self._drop_corrupt_block(path)
+            raise StoreCorruption("block %s fails digest verification"
+                                  % digest)
+        return data
+
+    @staticmethod
+    def _drop_corrupt_block(path: str) -> None:
+        """Unlink a block that failed verification.
+
+        ``_write_block`` treats an existing file as authoritative (the
+        content-addressed invariant), so a damaged block must leave the
+        pool or a later re-put of the same content would be skipped and
+        the corruption would persist.
+        """
+        try:
+            os.unlink(path)
+        except OSError:
+            pass
+
+    # -- objects -----------------------------------------------------------
+
+    def put(self, key: str, obj: Any, kind: str = "") -> str:
+        """Store *obj* under *key*; returns the key.
+
+        Overwrites an existing entry for the same key (blocks are
+        content-addressed, so re-putting identical content is free).
+        """
+        kind, meta, blocks = codec.encode(obj, kind)
+        for digest, data in blocks.items():
+            self._write_block(digest, data)
+        record = {
+            "key": key,
+            "kind": kind,
+            "meta": meta,
+            "block_sizes": {digest: len(data)
+                            for digest, data in blocks.items()},
+            "logical_bytes": self._logical_bytes(meta, blocks),
+        }
+        _atomic_write(self._meta_path(key),
+                      json.dumps(record, sort_keys=True).encode("utf-8"))
+        return key
+
+    @staticmethod
+    def _logical_bytes(meta: dict, blocks: Dict[str, bytes]) -> int:
+        sizes = {digest: len(data) for digest, data in blocks.items()}
+        return sum(sizes[digest] for digest in _referenced_digests(meta))
+
+    def _load_record(self, key: str) -> dict:
+        try:
+            with open(self._meta_path(key)) as handle:
+                return json.load(handle)
+        except FileNotFoundError:
+            raise KeyError(key)
+        except (ValueError, OSError) as exc:
+            raise StoreCorruption("meta record for %s: %s" % (key, exc))
+
+    def get(self, key: str) -> Any:
+        """Fetch and decode the artifact stored under *key*.
+
+        Raises :class:`KeyError` when absent, :class:`StoreCorruption`
+        when any referenced block fails verification.
+        """
+        record = self._load_record(key)
+        return codec.decode(record["kind"], record["meta"], self._read_block)
+
+    def contains(self, key: str) -> bool:
+        return os.path.exists(self._meta_path(key))
+
+    def kind_of(self, key: str) -> str:
+        return self._load_record(key)["kind"]
+
+    def delete(self, key: str) -> bool:
+        """Drop the meta record (blocks are reclaimed by :meth:`gc`)."""
+        try:
+            os.unlink(self._meta_path(key))
+            return True
+        except FileNotFoundError:
+            return False
+
+    def keys(self) -> Iterator[str]:
+        for shard in sorted(os.listdir(self._objects_dir)):
+            shard_dir = os.path.join(self._objects_dir, shard)
+            if not os.path.isdir(shard_dir):
+                continue
+            for name in sorted(os.listdir(shard_dir)):
+                if name.endswith(".json"):
+                    yield name[:-len(".json")]
+
+    # -- maintenance -------------------------------------------------------
+
+    def _iter_block_files(self) -> Iterator[str]:
+        for shard in sorted(os.listdir(self._blocks_dir)):
+            shard_dir = os.path.join(self._blocks_dir, shard)
+            if not os.path.isdir(shard_dir):
+                continue
+            for name in sorted(os.listdir(shard_dir)):
+                if not name.startswith(".tmp-"):
+                    yield name
+
+    def stats(self) -> StoreStats:
+        stats = StoreStats()
+        unique: Dict[str, int] = {}
+        for key in self.keys():
+            record = self._load_record(key)
+            stats.objects += 1
+            kind = record["kind"]
+            stats.objects_by_kind[kind] = stats.objects_by_kind.get(kind, 0) + 1
+            stats.logical_bytes += record.get("logical_bytes", 0)
+            unique.update({digest: size for digest, size
+                           in record.get("block_sizes", {}).items()})
+        for digest in self._iter_block_files():
+            stats.blocks += 1
+            stats.stored_bytes += os.path.getsize(self._block_path(digest))
+            # size known only for blocks some live object references
+        stats.unique_bytes = sum(size for digest, size in unique.items()
+                                 if os.path.exists(self._block_path(digest)))
+        return stats
+
+    def gc(self) -> GCStats:
+        """Mark-sweep: delete blocks no live artifact references."""
+        live: set = set()
+        for key in self.keys():
+            record = self._load_record(key)
+            live.update(_referenced_digests(record["meta"]))
+        result = GCStats()
+        for digest in list(self._iter_block_files()):
+            if digest in live:
+                result.live_blocks += 1
+                continue
+            path = self._block_path(digest)
+            result.freed_bytes += os.path.getsize(path)
+            os.unlink(path)
+            result.removed_blocks += 1
+        return result
+
+    def verify(self) -> List[str]:
+        """Re-hash every live reference; returns corrupt keys."""
+        bad: List[str] = []
+        for key in self.keys():
+            record = self._load_record(key)
+            try:
+                for digest in set(_referenced_digests(record["meta"])):
+                    self._read_block(digest)
+            except StoreCorruption:
+                bad.append(key)
+        return bad
+
+
+def _referenced_digests(meta: dict) -> Iterator[str]:
+    """All block digests an artifact meta record references."""
+    if "members" in meta:
+        for member in meta["members"].values():
+            yield from _referenced_digests(member)
+        return
+    if "pages" in meta:
+        for _addr, _prot, digest in meta["pages"]:
+            yield digest
+        yield meta["rest"]
+        return
+    if "chunks" in meta:
+        yield from meta["chunks"]
+        return
+    if "blob" in meta:
+        yield meta["blob"]

@@ -37,6 +37,7 @@ from repro.machine.scheduler import ScheduleSlice
 from repro.pinplay.regions import RegionSpec
 
 _TEXT_MAGIC = b"PBTX0001"
+_BYTES_MAGIC = b"PBALL001"
 
 
 @dataclass
@@ -180,78 +181,60 @@ class Pinball:
 
     # -- persistence ----------------------------------------------------------
 
-    def save(self, directory: str) -> str:
-        """Write the pinball files under *directory*; returns the prefix."""
-        os.makedirs(directory, exist_ok=True)
-        prefix = os.path.join(directory, self.name)
-        with open(prefix + ".text", "wb") as handle:
-            handle.write(_TEXT_MAGIC)
-            handle.write(struct.pack("<Q", len(self.pages)))
-            for addr in sorted(self.pages):
-                prot, data = self.pages[addr]
-                if len(data) != PAGE_SIZE:
-                    raise ValueError("page 0x%x is not %d bytes" % (addr, PAGE_SIZE))
-                handle.write(struct.pack("<QI", addr, prot))
-                handle.write(data)
-        for record in self.threads:
-            with open("%s.%d.reg" % (prefix, record.tid), "w") as handle:
-                json.dump(record.to_json(), handle)
-        with open(prefix + ".sel", "w") as handle:
-            json.dump([record.to_json() for record in self.syscalls], handle)
-        with open(prefix + ".race", "w") as handle:
-            json.dump([[s.tid, s.quantum] for s in self.schedule], handle)
-        with open(prefix + ".result", "w") as handle:
-            json.dump(
-                {
-                    "name": self.name,
-                    "region": {
-                        "start": self.region.start,
-                        "length": self.region.length,
-                        "warmup": self.region.warmup,
-                        "name": self.region.name,
-                        "weight": self.region.weight,
-                    },
-                    "tids": [record.tid for record in self.threads],
-                    "brk_start": self.brk_start,
-                    "brk_end": self.brk_end,
-                    "fat": self.fat,
-                    "whole_image": self.whole_image,
-                    "pages_early": self.pages_early,
-                    "program_icount": self.program_icount,
-                    "next_tid": self.next_tid,
-                },
-                handle,
-            )
-        return prefix
+    def _text_payload(self) -> bytes:
+        """The ``.text`` memory-image file contents."""
+        out = [_TEXT_MAGIC, struct.pack("<Q", len(self.pages))]
+        for addr in sorted(self.pages):
+            prot, data = self.pages[addr]
+            if len(data) != PAGE_SIZE:
+                raise ValueError("page 0x%x is not %d bytes" % (addr, PAGE_SIZE))
+            out.append(struct.pack("<QI", addr, prot))
+            out.append(data)
+        return b"".join(out)
+
+    @staticmethod
+    def _decode_text(data: bytes) -> Dict[int, Tuple[int, bytes]]:
+        if data[:8] != _TEXT_MAGIC:
+            raise ValueError("bad pinball .text magic")
+        (count,) = struct.unpack("<Q", data[8:16])
+        pages: Dict[int, Tuple[int, bytes]] = {}
+        offset = 16
+        for _ in range(count):
+            addr, prot = struct.unpack("<QI", data[offset:offset + 12])
+            offset += 12
+            pages[addr] = (prot, data[offset:offset + PAGE_SIZE])
+            offset += PAGE_SIZE
+        return pages
+
+    def _result_dict(self) -> dict:
+        """The ``.result`` metadata file contents."""
+        return {
+            "name": self.name,
+            "region": {
+                "start": self.region.start,
+                "length": self.region.length,
+                "warmup": self.region.warmup,
+                "name": self.region.name,
+                "weight": self.region.weight,
+            },
+            "tids": [record.tid for record in self.threads],
+            "brk_start": self.brk_start,
+            "brk_end": self.brk_end,
+            "fat": self.fat,
+            "whole_image": self.whole_image,
+            "pages_early": self.pages_early,
+            "program_icount": self.program_icount,
+            "next_tid": self.next_tid,
+        }
 
     @classmethod
-    def load(cls, directory: str, name: str) -> "Pinball":
-        """Load a pinball previously written by :meth:`save`."""
-        prefix = os.path.join(directory, name)
-        with open(prefix + ".result") as handle:
-            meta = json.load(handle)
-        region = RegionSpec(**meta["region"])
-        pages: Dict[int, Tuple[int, bytes]] = {}
-        with open(prefix + ".text", "rb") as handle:
-            magic = handle.read(8)
-            if magic != _TEXT_MAGIC:
-                raise ValueError("bad pinball .text magic")
-            (count,) = struct.unpack("<Q", handle.read(8))
-            for _ in range(count):
-                addr, prot = struct.unpack("<QI", handle.read(12))
-                pages[addr] = (prot, handle.read(PAGE_SIZE))
-        threads = []
-        for tid in meta["tids"]:
-            with open("%s.%d.reg" % (prefix, tid)) as handle:
-                threads.append(ThreadRecord.from_json(json.load(handle)))
-        with open(prefix + ".sel") as handle:
-            syscalls = [SyscallRecord.from_json(item) for item in json.load(handle)]
-        with open(prefix + ".race") as handle:
-            schedule = [ScheduleSlice(tid=tid, quantum=quantum)
-                        for tid, quantum in json.load(handle)]
+    def _from_parts(cls, meta: dict, pages: Dict[int, Tuple[int, bytes]],
+                    threads: List["ThreadRecord"],
+                    syscalls: List[SyscallRecord],
+                    schedule: List[ScheduleSlice]) -> "Pinball":
         return cls(
             name=meta["name"],
-            region=region,
+            region=RegionSpec(**meta["region"]),
             pages=pages,
             threads=threads,
             syscalls=syscalls,
@@ -263,4 +246,80 @@ class Pinball:
             pages_early=meta["pages_early"],
             program_icount=meta.get("program_icount", 0),
             next_tid=meta.get("next_tid", 0),
+        )
+
+    def save(self, directory: str) -> str:
+        """Write the pinball files under *directory*; returns the prefix."""
+        os.makedirs(directory, exist_ok=True)
+        prefix = os.path.join(directory, self.name)
+        with open(prefix + ".text", "wb") as handle:
+            handle.write(self._text_payload())
+        for record in self.threads:
+            with open("%s.%d.reg" % (prefix, record.tid), "w") as handle:
+                json.dump(record.to_json(), handle)
+        with open(prefix + ".sel", "w") as handle:
+            json.dump([record.to_json() for record in self.syscalls], handle)
+        with open(prefix + ".race", "w") as handle:
+            json.dump([[s.tid, s.quantum] for s in self.schedule], handle)
+        with open(prefix + ".result", "w") as handle:
+            json.dump(self._result_dict(), handle)
+        return prefix
+
+    @classmethod
+    def load(cls, directory: str, name: str) -> "Pinball":
+        """Load a pinball previously written by :meth:`save`."""
+        prefix = os.path.join(directory, name)
+        with open(prefix + ".result") as handle:
+            meta = json.load(handle)
+        with open(prefix + ".text", "rb") as handle:
+            pages = cls._decode_text(handle.read())
+        threads = []
+        for tid in meta["tids"]:
+            with open("%s.%d.reg" % (prefix, tid)) as handle:
+                threads.append(ThreadRecord.from_json(json.load(handle)))
+        with open(prefix + ".sel") as handle:
+            syscalls = [SyscallRecord.from_json(item) for item in json.load(handle)]
+        with open(prefix + ".race") as handle:
+            schedule = [ScheduleSlice(tid=tid, quantum=quantum)
+                        for tid, quantum in json.load(handle)]
+        return cls._from_parts(meta, pages, threads, syscalls, schedule)
+
+    def save_bytes(self) -> bytes:
+        """Serialize the whole pinball into one ``bytes`` blob.
+
+        The blob packs the same five file payloads :meth:`save` writes
+        (result metadata, per-thread registers, syscall side-effects,
+        schedule, memory image) into a single container, so pinballs can
+        travel through in-memory channels — the farm artifact store,
+        sockets, message queues — without touching a directory.
+        """
+        meta = {
+            "result": self._result_dict(),
+            "threads": [record.to_json() for record in self.threads],
+            "syscalls": [record.to_json() for record in self.syscalls],
+            "schedule": [[s.tid, s.quantum] for s in self.schedule],
+        }
+        meta_blob = json.dumps(meta, sort_keys=True).encode("utf-8")
+        return b"".join([
+            _BYTES_MAGIC,
+            struct.pack("<Q", len(meta_blob)),
+            meta_blob,
+            self._text_payload(),
+        ])
+
+    @classmethod
+    def load_bytes(cls, data: bytes) -> "Pinball":
+        """Reconstruct a pinball from a :meth:`save_bytes` blob."""
+        if data[:8] != _BYTES_MAGIC:
+            raise ValueError("bad pinball byte-container magic")
+        (meta_len,) = struct.unpack("<Q", data[8:16])
+        meta = json.loads(data[16:16 + meta_len].decode("utf-8"))
+        pages = cls._decode_text(data[16 + meta_len:])
+        return cls._from_parts(
+            meta["result"],
+            pages,
+            [ThreadRecord.from_json(item) for item in meta["threads"]],
+            [SyscallRecord.from_json(item) for item in meta["syscalls"]],
+            [ScheduleSlice(tid=tid, quantum=quantum)
+             for tid, quantum in meta["schedule"]],
         )

@@ -10,7 +10,8 @@ This package provides the full selection pipeline:
 - :mod:`repro.simpoint.simpoint` -- representative and alternate slice
   selection with weights,
 - :mod:`repro.simpoint.pinpoints` -- the end-to-end PinPoints driver
-  (profile, cluster, capture a fat pinball per representative),
+  (profile, cluster, capture a fat pinball per representative), both
+  direct and farm-backed (parallel, store-memoized campaigns),
 - :mod:`repro.simpoint.validation` -- prediction-error computation,
   ELFie-based and simulation-based validation, coverage with
   alternates.
@@ -19,7 +20,16 @@ This package provides the full selection pipeline:
 from repro.simpoint.bbv import BBVProfile, collect_bbv
 from repro.simpoint.kmeans import KMeansResult, cluster_vectors
 from repro.simpoint.simpoint import SimPointResult, pick_regions, select_simpoints
-from repro.simpoint.pinpoints import PinPointsResult, run_pinpoints
+from repro.simpoint.pinpoints import (
+    FarmAppOutcome,
+    FarmValidation,
+    PinPointsResult,
+    add_pinpoints_jobs,
+    elfie_validation,
+    run_pinpoints,
+    run_pinpoints_campaign,
+    run_pinpoints_farm,
+)
 from repro.simpoint.validation import (
     RegionMeasurement,
     ValidationResult,
@@ -37,7 +47,13 @@ __all__ = [
     "pick_regions",
     "select_simpoints",
     "PinPointsResult",
+    "FarmAppOutcome",
+    "FarmValidation",
+    "add_pinpoints_jobs",
+    "elfie_validation",
     "run_pinpoints",
+    "run_pinpoints_campaign",
+    "run_pinpoints_farm",
     "RegionMeasurement",
     "ValidationResult",
     "prediction_error",

@@ -4,15 +4,29 @@ PinPoints automates "profiling an x86 application, finding phases, and
 creating a checkpoint called a pinball for each representative region".
 This module runs that pipeline on the simulated platform and optionally
 converts every pinball to an ELFie.
+
+Two driver paths produce identical results:
+
+- :func:`run_pinpoints` — the direct path: one process, one app,
+  everything recomputed from scratch;
+- :func:`run_pinpoints_campaign` / :func:`run_pinpoints_farm` — the
+  farm-backed path: the pipeline is decomposed into dependency-ordered
+  jobs (profile → cluster → log regions → pinball2elf → validate),
+  fanned across a worker pool, and memoized through a content-addressed
+  artifact store so a re-run with unchanged inputs is a cache hit.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.core.markers import MarkerSpec
 from repro.core.pinball2elf import ElfieArtifact, Pinball2Elf, Pinball2ElfOptions
+from repro.farm.codec import stable_digest
+from repro.farm.jobs import Job, JobGraph, Ref
+from repro.farm.runner import FarmRunner
+from repro.farm.store import ArtifactStore
 from repro.machine.vfs import FileSystem
 from repro.pinplay.logger import LogOptions, log_region, log_regions
 from repro.pinplay.pinball import Pinball
@@ -82,19 +96,7 @@ def run_pinpoints(image: bytes, app_name: str,
     if not capture:
         return result
     marker = marker or MarkerSpec("sniper", 0xE1F)
-    capturable = [region for region in regions
-                  if region.end <= profile.total_icount]
-    # Windows of different regions may overlap (a big warmup around
-    # adjacent slices); capture overlapping ones in separate passes.
-    passes: List[List[RegionSpec]] = []
-    for region in sorted(capturable, key=lambda r: r.warmup_start):
-        for group in passes:
-            if group and group[-1].end <= region.warmup_start:
-                group.append(region)
-                break
-        else:
-            passes.append([region])
-    for group in passes:
+    for group in _capture_passes(regions, profile.total_icount):
         pinballs = log_regions(image, group, seed=seed, fs=fs)
         for name, pinball in pinballs.items():
             pinball.program_icount = profile.total_icount
@@ -106,3 +108,289 @@ def run_pinpoints(image: bytes, app_name: str,
                 ).convert()
                 result.elfies[name] = artifact
     return result
+
+
+def _capture_passes(regions: Sequence[RegionSpec],
+                    total_icount: int) -> List[List[RegionSpec]]:
+    """Group capturable regions into non-overlapping logger passes.
+
+    Windows of different regions may overlap (a big warmup around
+    adjacent slices); overlapping ones are captured in separate passes.
+    Shared by the direct and farm-backed drivers so both log the exact
+    same windows in the exact same runs.
+    """
+    capturable = [region for region in regions
+                  if region.end <= total_icount]
+    passes: List[List[RegionSpec]] = []
+    for region in sorted(capturable, key=lambda r: r.warmup_start):
+        for group in passes:
+            if group and group[-1].end <= region.warmup_start:
+                group.append(region)
+                break
+        else:
+            passes.append([region])
+    return passes
+
+
+# ---------------------------------------------------------------------------
+# Farm-backed driver: the pipeline as a memoized, parallel job graph.
+# ---------------------------------------------------------------------------
+
+#: A post-pipeline measurement pass: ``fn(result, image, **params)``
+#: must be a picklable module-level callable returning any picklable
+#: value (typically a ``ValidationResult``).
+@dataclass(frozen=True)
+class FarmValidation:
+    label: str
+    fn: Callable[..., Any]
+    params: Dict[str, Any] = field(default_factory=dict)
+
+
+def _validate_elfies_job(result: "PinPointsResult", image: bytes,
+                         **kwargs) -> Any:
+    # imported lazily: validation.py imports this module
+    from repro.simpoint.validation import validate_with_elfies
+    return validate_with_elfies(result, **kwargs)
+
+
+def elfie_validation(label: str, seed: int = 0, trials: int = 3,
+                     use_alternates: bool = True) -> FarmValidation:
+    """The standard ELFie-based validation pass as a farm job spec."""
+    return FarmValidation(label, _validate_elfies_job,
+                          {"seed": seed, "trials": trials,
+                           "use_alternates": use_alternates})
+
+
+@dataclass
+class FarmAppOutcome:
+    """What the farm campaign produced for one app."""
+
+    result: "PinPointsResult"
+    validations: Dict[str, Any] = field(default_factory=dict)
+
+
+def _region_spec_tuple(region: RegionSpec) -> List[Any]:
+    return [region.start, region.length, region.warmup, region.name,
+            region.weight]
+
+
+def _job_profile(image: bytes, slice_size: int, seed: int) -> BBVProfile:
+    return collect_bbv(image, slice_size=slice_size, seed=seed)
+
+
+def _job_select(profile: BBVProfile, max_k: int,
+                cluster_seed: int) -> SimPointResult:
+    return select_simpoints(profile, max_k=max_k, seed=cluster_seed)
+
+
+def _job_log_group(image: bytes, regions: Sequence[RegionSpec], seed: int,
+                   program_icount: int) -> Dict[str, Pinball]:
+    pinballs = log_regions(image, regions, seed=seed)
+    for pinball in pinballs.values():
+        pinball.program_icount = program_icount
+    return pinballs
+
+
+def _job_convert(pinball: Optional[Pinball], perf_exit: bool,
+                 marker_type: str, marker_tag: int) -> Optional[ElfieArtifact]:
+    if pinball is None:
+        # the logger skipped this region (program ended early); the
+        # direct path simply has no ELFie for it either
+        return None
+    options = Pinball2ElfOptions(
+        perf_exit=perf_exit, marker=MarkerSpec(marker_type, marker_tag))
+    return Pinball2Elf(pinball, options).convert()
+
+
+def _job_assemble(app_name: str, profile: BBVProfile,
+                  simpoints: SimPointResult, regions: List[RegionSpec],
+                  groups: List[Dict[str, Pinball]],
+                  elfies: Dict[str, Optional[ElfieArtifact]]) -> PinPointsResult:
+    result = PinPointsResult(app_name=app_name, profile=profile,
+                             simpoints=simpoints, regions=regions)
+    for group in groups:
+        result.pinballs.update(group)
+    result.elfies = {name: artifact for name, artifact in elfies.items()
+                     if artifact is not None}
+    return result
+
+
+def _job_validate(fn: Callable[..., Any], result: PinPointsResult,
+                  image: bytes, params: Dict[str, Any]) -> Any:
+    return fn(result, image, **params)
+
+
+def add_pinpoints_jobs(graph: JobGraph, image: bytes, app_name: str,
+                       slice_size: int = 20_000,
+                       warmup: int = 80_000,
+                       max_k: int = 50,
+                       seed: int = 0,
+                       max_alternates: int = 2,
+                       marker: Optional[MarkerSpec] = None,
+                       perf_exit: bool = True,
+                       cluster_seed: int = 42,
+                       validations: Sequence[FarmValidation] = ()) -> str:
+    """Add one app's PinPoints pipeline to a campaign graph.
+
+    Jobs are keyed by a deterministic digest of (workload, region,
+    logger options, converter options), so unchanged sub-pipelines are
+    served from the store on re-runs.  The log/convert/validate tail of
+    the graph depends on the clustering outcome, so it is added by an
+    ``expand`` callback once the selection job completes.
+
+    Returns the name of the app's assemble job (whose result is the
+    :class:`PinPointsResult`); validation jobs are named
+    ``<app>/validate/<label>``.
+    """
+    marker = marker or MarkerSpec("sniper", 0xE1F)
+    workload_key = stable_digest({"image": image, "app": app_name})
+    profile_name = "%s/profile" % app_name
+    select_name = "%s/select" % app_name
+    graph.add(Job(
+        name=profile_name,
+        fn=_job_profile,
+        args=(image, slice_size, seed),
+        key=stable_digest(["pinpoints.profile", workload_key,
+                           slice_size, seed]),
+        stage="profile",
+    ))
+
+    pipeline_spec = {
+        "workload": workload_key,
+        "slice_size": slice_size, "warmup": warmup, "max_k": max_k,
+        "seed": seed, "cluster_seed": cluster_seed,
+        "max_alternates": max_alternates,
+        "marker": [marker.marker_type, marker.tag],
+        "perf_exit": perf_exit,
+        "log": {"fat": True},
+    }
+
+    def expand_selection(simpoints: SimPointResult, graph: JobGraph,
+                         results: Dict[str, Any]) -> None:
+        profile = results[profile_name]
+        regions = simpoints.regions(warmup=warmup,
+                                    name_prefix="%s.r" % app_name,
+                                    max_alternates=max_alternates)
+        passes = _capture_passes(regions, profile.total_icount)
+        group_names: List[str] = []
+        convert_refs: Dict[str, Ref] = {}
+        for index, group in enumerate(passes):
+            group_name = "%s/log%d" % (app_name, index)
+            graph.add(Job(
+                name=group_name,
+                fn=_job_log_group,
+                args=(image, list(group), seed, profile.total_icount),
+                key=stable_digest(["pinpoints.log", workload_key, seed,
+                                   {"fat": True},
+                                   [_region_spec_tuple(r) for r in group]]),
+                kind="pinballs",
+                deps=(select_name,),
+                stage="log",
+            ))
+            group_names.append(group_name)
+            for region in group:
+                convert_name = "%s/convert/%s" % (app_name, region.name)
+                graph.add(Job(
+                    name=convert_name,
+                    fn=_job_convert,
+                    args=(Ref(group_name,
+                              select=lambda pbs, n=region.name: pbs.get(n)),
+                          perf_exit, marker.marker_type, marker.tag),
+                    key=stable_digest(["pinpoints.elfie", workload_key,
+                                       _region_spec_tuple(region), seed,
+                                       {"fat": True},
+                                       {"perf_exit": perf_exit,
+                                        "marker": [marker.marker_type,
+                                                   marker.tag]}]),
+                    stage="convert",
+                ))
+                convert_refs[region.name] = Ref(convert_name)
+        assemble_name = "%s/assemble" % app_name
+        graph.add(Job(
+            name=assemble_name,
+            fn=_job_assemble,
+            args=(app_name, Ref(profile_name), Ref(select_name),
+                  list(regions), [Ref(name) for name in group_names],
+                  convert_refs),
+            local=True,
+            stage="assemble",
+        ))
+        for validation in validations:
+            graph.add(Job(
+                name="%s/validate/%s" % (app_name, validation.label),
+                fn=_job_validate,
+                args=(validation.fn, Ref(assemble_name), image,
+                      dict(validation.params)),
+                key=stable_digest(["pinpoints.validate", pipeline_spec,
+                                   validation.label,
+                                   "%s.%s" % (validation.fn.__module__,
+                                              validation.fn.__qualname__),
+                                   validation.params]),
+                stage="validate",
+            ))
+
+    graph.add(Job(
+        name=select_name,
+        fn=_job_select,
+        args=(Ref(profile_name), max_k, cluster_seed),
+        key=stable_digest(["pinpoints.select", workload_key, slice_size,
+                           seed, max_k, cluster_seed]),
+        stage="cluster",
+        expand=expand_selection,
+    ))
+    return "%s/assemble" % app_name
+
+
+def run_pinpoints_campaign(images: Dict[str, bytes],
+                           store: ArtifactStore,
+                           jobs: Optional[int] = None,
+                           manifest_path: Optional[str] = None,
+                           runner: Optional[FarmRunner] = None,
+                           slice_size: int = 20_000,
+                           warmup: int = 80_000,
+                           max_k: int = 50,
+                           seed: int = 0,
+                           max_alternates: int = 2,
+                           marker: Optional[MarkerSpec] = None,
+                           perf_exit: bool = True,
+                           cluster_seed: int = 42,
+                           validations: Sequence[FarmValidation] = (),
+                           ) -> Dict[str, FarmAppOutcome]:
+    """Run the PinPoints pipeline for several apps through the farm.
+
+    Independent per-app jobs fan out across the runner's worker pool;
+    every completed job is memoized in *store*, so re-running the same
+    campaign is a warm, logger/converter-free pass.  Produces exactly
+    what :func:`run_pinpoints` + the validation functions produce for
+    each app, plus the run manifest for observability.
+    """
+    graph = JobGraph()
+    for app_name, image in images.items():
+        add_pinpoints_jobs(graph, image, app_name,
+                           slice_size=slice_size, warmup=warmup,
+                           max_k=max_k, seed=seed,
+                           max_alternates=max_alternates, marker=marker,
+                           perf_exit=perf_exit, cluster_seed=cluster_seed,
+                           validations=validations)
+    if runner is None:
+        runner = FarmRunner(store, jobs=jobs, manifest_path=manifest_path)
+    results = runner.run(graph)
+    return {
+        app_name: FarmAppOutcome(
+            result=results["%s/assemble" % app_name],
+            validations={
+                validation.label:
+                    results["%s/validate/%s" % (app_name, validation.label)]
+                for validation in validations
+            },
+        )
+        for app_name in images
+    }
+
+
+def run_pinpoints_farm(image: bytes, app_name: str,
+                       store: ArtifactStore,
+                       **kwargs: Any) -> FarmAppOutcome:
+    """Single-app convenience wrapper over the campaign runner."""
+    return run_pinpoints_campaign({app_name: image}, store,
+                                  **kwargs)[app_name]

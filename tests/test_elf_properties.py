@@ -1,0 +1,88 @@
+"""Property-based tests: ElfBuilder output parses back exactly.
+
+Whatever sections, addresses, flags and symbols go into the writer must
+come back out of the reader — this is the invariant the ELFie pipeline
+(and the farm's elfie codec, which re-serializes images) leans on.
+Also pins the loader-visibility rule: allocatable sections get exactly
+one PT_LOAD each; non-allocatable sections get none.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.elf import (
+    ET_EXEC,
+    PT_LOAD,
+    SHF_ALLOC,
+    SHF_EXECINSTR,
+    SHF_WRITE,
+    ElfBuilder,
+    ElfFile,
+)
+
+FLAG_CHOICES = [0, SHF_ALLOC, SHF_ALLOC | SHF_WRITE,
+                SHF_ALLOC | SHF_EXECINSTR]
+
+section_names = st.text(alphabet="abcdefghijklmnop_", min_size=1, max_size=8)
+
+#: name -> (data, flags); addresses are assigned per-index so sections
+#: never alias, which keeps the PT_LOAD accounting unambiguous.
+section_specs = st.dictionaries(
+    section_names,
+    st.tuples(st.binary(min_size=1, max_size=128),
+              st.sampled_from(FLAG_CHOICES)),
+    min_size=1, max_size=6,
+)
+
+symbol_specs = st.dictionaries(
+    st.text(alphabet="qrstuvwxyz", min_size=1, max_size=8),
+    st.integers(min_value=0, max_value=2**48),
+    max_size=6,
+)
+
+
+@settings(max_examples=40, deadline=None)
+@given(section_specs, symbol_specs,
+       st.integers(min_value=0, max_value=2**32))
+def test_writer_reader_round_trip(sections, symbols, entry):
+    builder = ElfBuilder(e_type=ET_EXEC, entry=entry)
+    addresses = {}
+    for index, (name, (data, flags)) in enumerate(sorted(sections.items())):
+        addresses[name] = 0x10000 * (index + 1)
+        builder.add_section(name, data, addr=addresses[name], flags=flags)
+    for name, value in symbols.items():
+        builder.add_symbol(name, value)
+    parsed = ElfFile(builder.build())
+
+    assert parsed.entry == entry
+    for name, (data, flags) in sections.items():
+        section = parsed.section(name)
+        assert section.data == data
+        assert section.addr == addresses[name]
+        assert section.flags == flags
+    symbol_map = parsed.symbol_map()
+    for name, value in symbols.items():
+        assert symbol_map[name] == value
+
+    # loader visibility: one PT_LOAD per allocatable section, none for
+    # the rest
+    loads = [seg for seg in parsed.segments if seg.p_type == PT_LOAD]
+    allocatable = {addresses[name]: data
+                   for name, (data, flags) in sections.items()
+                   if flags & SHF_ALLOC}
+    assert len(loads) == len(allocatable)
+    for segment in loads:
+        assert segment.p_vaddr in allocatable
+        assert parsed.segment_data(segment) == allocatable[segment.p_vaddr]
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.binary(min_size=1, max_size=64),
+       st.integers(min_value=0, max_value=2**32))
+def test_non_allocatable_sections_are_never_mapped(data, addr):
+    builder = ElfBuilder(e_type=ET_EXEC)
+    builder.add_section("note", data, addr=addr, flags=0)
+    builder.add_section("text", b"\x90" * 16, addr=0x1000, flags=SHF_ALLOC)
+    parsed = ElfFile(builder.build())
+    loads = [seg for seg in parsed.segments if seg.p_type == PT_LOAD]
+    assert len(loads) == 1
+    assert loads[0].p_vaddr == 0x1000

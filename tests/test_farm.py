@@ -1,0 +1,481 @@
+"""Tests for the checkpoint farm: store, job graph, runner, campaigns."""
+
+import json
+import os
+import time
+import zlib
+
+import pytest
+
+from repro.core.cli import main
+from repro.core.pinball2elf import ElfieArtifact
+from repro.core.startup import StartupPlan
+from repro.farm import (
+    ArtifactStore,
+    CampaignError,
+    FarmRunner,
+    Job,
+    JobGraph,
+    Ref,
+    StoreCorruption,
+    executed_jobs,
+    read_manifest,
+    stable_digest,
+    summarize_manifest,
+)
+from repro.isa.registers import RegisterFile
+from repro.machine.memory import PAGE_SIZE
+from repro.machine.scheduler import ScheduleSlice
+from repro.pinplay.pinball import Pinball, ThreadRecord
+from repro.pinplay.regions import RegionSpec
+from repro.simpoint import (
+    elfie_validation,
+    run_pinpoints,
+    run_pinpoints_farm,
+    validate_with_elfies,
+)
+from repro.workloads import get_app
+
+
+def make_pinball(name="pb", pages=None, icount=500):
+    if pages is None:
+        pages = {0x1000: (5, b"\xab" * PAGE_SIZE),
+                 0x3000: (3, b"\xcd" * PAGE_SIZE)}
+    return Pinball(
+        name=name,
+        region=RegionSpec(start=100, length=icount, warmup=50, name=name,
+                          weight=0.25),
+        pages=pages,
+        threads=[ThreadRecord(tid=0, regs=RegisterFile(),
+                              region_icount=icount)],
+        syscalls=[],
+        schedule=[ScheduleSlice(tid=0, quantum=100)],
+        brk_start=0x600000,
+        brk_end=0x640000,
+        program_icount=10_000,
+        next_tid=1,
+    )
+
+
+# -- artifact store ---------------------------------------------------------
+
+
+def test_store_round_trips_pinball(tmp_path):
+    store = ArtifactStore(str(tmp_path))
+    pinball = make_pinball()
+    store.put("k1", pinball)
+    assert store.contains("k1")
+    assert store.kind_of("k1") == "pinball"
+    loaded = store.get("k1")
+    assert loaded.pages == pinball.pages
+    assert loaded.region == pinball.region
+    assert loaded.threads == pinball.threads
+    assert loaded.schedule == pinball.schedule
+    assert loaded.program_icount == pinball.program_icount
+    assert loaded.next_tid == pinball.next_tid
+
+
+def test_store_round_trips_pinball_group(tmp_path):
+    store = ArtifactStore(str(tmp_path))
+    group = {"a": make_pinball("a"), "b": make_pinball("b", icount=700)}
+    store.put("g", group)
+    assert store.kind_of("g") == "pinballs"
+    loaded = store.get("g")
+    assert sorted(loaded) == ["a", "b"]
+    assert loaded["a"].pages == group["a"].pages
+    assert loaded["b"].region_icount == 700
+
+
+def test_store_round_trips_elfie(tmp_path):
+    store = ArtifactStore(str(tmp_path))
+    artifact = ElfieArtifact(
+        image=bytes(range(256)) * 40,
+        e_type=2,
+        entry=0x40_0000,
+        startup_base=0x30_0000,
+        plan=StartupPlan(tail_instructions={0: 7, 1: 9},
+                         symbol_labels=["elfie_entry"],
+                         context_symbols=[("t0.rip", "ctx0", 16)]),
+        linker_script="SECTIONS {}",
+        symbols=[("elfie_entry", 0x40_0000)],
+    )
+    store.put("e", artifact, kind="elfie")
+    loaded = store.get("e")
+    assert loaded.image == artifact.image
+    assert loaded.entry == artifact.entry
+    assert loaded.plan.tail_instructions == {0: 7, 1: 9}
+    assert loaded.plan.context_symbols == [("t0.rip", "ctx0", 16)]
+    assert loaded.linker_script == "SECTIONS {}"
+    assert loaded.symbols == [("elfie_entry", 0x40_0000)]
+
+
+def test_store_deduplicates_shared_pages(tmp_path):
+    store = ArtifactStore(str(tmp_path))
+    pages = {0x1000: (5, b"\x11" * PAGE_SIZE), 0x2000: (5, b"\x22" * PAGE_SIZE)}
+    store.put("first", make_pinball("first", pages=dict(pages)))
+    blocks_after_first = store.stats().blocks
+    store.put("second", make_pinball("second", pages=dict(pages)))
+    stats = store.stats()
+    # the two artifacts share every page block; only the "rest" blob
+    # (metadata differs by name) adds a block
+    assert stats.blocks == blocks_after_first + 1
+    assert stats.objects == 2
+    assert stats.logical_bytes > stats.unique_bytes
+    assert stats.dedup_ratio > 1.0
+    assert stats.compression_ratio > 1.0
+
+
+def test_store_gc_sweeps_unreferenced_blocks(tmp_path):
+    store = ArtifactStore(str(tmp_path))
+    shared = b"\x33" * PAGE_SIZE
+    store.put("keep", make_pinball("keep", pages={0x1000: (5, shared)}))
+    store.put("drop", make_pinball("drop", pages={0x1000: (5, shared),
+                                                  0x2000: (5, b"\x44" * PAGE_SIZE)}))
+    assert store.delete("drop")
+    assert not store.delete("drop")
+    result = store.gc()
+    assert result.removed_blocks > 0
+    assert result.live_blocks > 0
+    # the survivor must be fully readable after the sweep
+    assert store.get("keep").pages[0x1000] == (5, shared)
+    assert store.verify() == []
+
+
+def test_store_detects_corruption(tmp_path):
+    store = ArtifactStore(str(tmp_path))
+    pinball = make_pinball()
+    store.put("k", pinball)
+    # tamper with one page block: valid zlib, wrong content
+    digest = codec_digest_of_first_page(store, "k")
+    with open(store._block_path(digest), "wb") as handle:
+        handle.write(zlib.compress(b"\x00" * PAGE_SIZE))
+    with pytest.raises(StoreCorruption):
+        store.get("k")
+    assert store.verify() == ["k"]
+
+
+def codec_digest_of_first_page(store, key):
+    record = store._load_record(key)
+    return record["meta"]["pages"][0][2]
+
+
+def test_store_missing_key_raises_keyerror(tmp_path):
+    store = ArtifactStore(str(tmp_path))
+    with pytest.raises(KeyError):
+        store.get("nope")
+    assert not store.contains("nope")
+
+
+# -- stable digests ---------------------------------------------------------
+
+
+def test_stable_digest_is_order_independent():
+    a = stable_digest({"x": 1, "y": [1, 2], "z": {"n": None}})
+    b = stable_digest({"z": {"n": None}, "y": [1, 2], "x": 1})
+    assert a == b
+    assert stable_digest({"x": 1}) != stable_digest({"x": 2})
+
+
+def test_stable_digest_handles_bytes_and_dataclasses():
+    region = RegionSpec(start=10, length=20, warmup=5, name="r")
+    assert stable_digest(region) == stable_digest(region)
+    assert stable_digest([b"abc"]) == stable_digest([b"abc"])
+    assert stable_digest([b"abc"]) != stable_digest([b"abd"])
+    assert stable_digest((1, 2)) == stable_digest([1, 2])
+
+
+def test_stable_digest_rejects_unknown_types():
+    with pytest.raises(TypeError):
+        stable_digest(object())
+
+
+# -- job graph --------------------------------------------------------------
+
+
+def _identity(x):
+    return x
+
+
+def test_job_graph_rejects_duplicates_and_unknown_deps():
+    graph = JobGraph()
+    graph.add(Job(name="a", fn=_identity, args=(1,)))
+    with pytest.raises(ValueError):
+        graph.add(Job(name="a", fn=_identity, args=(2,)))
+    with pytest.raises(ValueError):
+        graph.add(Job(name="b", fn=_identity, args=(1,), deps=("missing",)))
+
+
+def test_job_refs_imply_dependencies():
+    graph = JobGraph()
+    graph.add(Job(name="a", fn=_identity, args=(1,)))
+    job = graph.add(Job(name="b", fn=_identity, args=(Ref("a"),)))
+    assert job.deps == ("a",)
+    assert graph.order() == ["a", "b"]
+    assert graph.dependents("a") == ["b"]
+
+
+# -- runner (module-level fns so the worker pool can pickle them) -----------
+
+
+def _counted_double(counter_path, x):
+    with open(counter_path, "a") as handle:
+        handle.write("%d\n" % os.getpid())
+    return 2 * x
+
+
+def _add(a, b):
+    return a + b
+
+
+def _flaky(counter_path, fail_times, value):
+    with open(counter_path, "a") as handle:
+        handle.write("x")
+    with open(counter_path) as handle:
+        calls = len(handle.read())
+    if calls <= fail_times:
+        raise RuntimeError("injected failure #%d" % calls)
+    return value
+
+
+def _always_fail():
+    raise RuntimeError("boom")
+
+
+def _sleepy_pid(seconds):
+    time.sleep(seconds)
+    return os.getpid()
+
+
+def _expand_with_square(result, graph, results):
+    graph.add(Job(name="square", fn=_identity, args=(result * result,)))
+
+
+def test_runner_memoizes_results(tmp_path):
+    store = ArtifactStore(str(tmp_path / "store"))
+    counter = str(tmp_path / "calls")
+
+    def build():
+        graph = JobGraph()
+        graph.add(Job(name="double", fn=_counted_double, args=(counter, 21),
+                      key=stable_digest(["double", 21]), stage="work"))
+        graph.add(Job(name="sum", fn=_add, args=(Ref("double"), 8)))
+        return graph
+
+    manifest = str(tmp_path / "cold.jsonl")
+    runner = FarmRunner(store, jobs=1, manifest_path=manifest)
+    results = runner.run(build())
+    assert results == {"double": 42, "sum": 50}
+    assert runner.report.cache_hits == 0
+
+    warm_manifest = str(tmp_path / "warm.jsonl")
+    runner = FarmRunner(store, jobs=1, manifest_path=warm_manifest)
+    results = runner.run(build())
+    assert results == {"double": 42, "sum": 50}
+    assert runner.report.cache["double"] == "hit"
+    with open(counter) as handle:
+        assert len(handle.read().splitlines()) == 1  # executed exactly once
+    records = read_manifest(warm_manifest)
+    by_job = {record["job"]: record for record in records}
+    assert by_job["double"]["cache"] == "hit"
+    assert by_job["sum"]["cache"] == "none"  # keyless jobs always run
+    assert not executed_jobs(records, "work")
+
+
+def test_runner_parallel_matches_serial(tmp_path):
+    def build():
+        graph = JobGraph()
+        graph.add(Job(name="a", fn=_identity, args=(3,)))
+        graph.add(Job(name="b", fn=_identity, args=(4,)))
+        graph.add(Job(name="sum", fn=_add, args=(Ref("a"), Ref("b"))))
+        return graph
+
+    serial = FarmRunner(ArtifactStore(str(tmp_path / "s1")), jobs=1).run(build())
+    fanned = FarmRunner(ArtifactStore(str(tmp_path / "s2")), jobs=2).run(build())
+    assert serial == fanned == {"a": 3, "b": 4, "sum": 7}
+
+
+def test_runner_fans_out_across_workers(tmp_path):
+    graph = JobGraph()
+    graph.add(Job(name="w0", fn=_sleepy_pid, args=(0.3,)))
+    graph.add(Job(name="w1", fn=_sleepy_pid, args=(0.3,)))
+    manifest = str(tmp_path / "run.jsonl")
+    runner = FarmRunner(None, jobs=2, manifest_path=manifest)
+    results = runner.run(graph)
+    # two independent jobs land on two distinct pool workers, and none
+    # of them on the parent
+    assert len(set(results.values())) == 2
+    assert os.getpid() not in results.values()
+    summary = summarize_manifest(read_manifest(manifest))
+    assert summary["jobs"] == 2 and summary["ok"] == 2
+    assert len(summary["workers"]) == 2
+
+
+def test_runner_local_jobs_stay_in_parent(tmp_path):
+    graph = JobGraph()
+    graph.add(Job(name="here", fn=_sleepy_pid, args=(0.0,), local=True))
+    results = FarmRunner(None, jobs=2).run(graph)
+    assert results["here"] == os.getpid()
+
+
+def test_runner_retries_then_succeeds_inline(tmp_path):
+    counter = str(tmp_path / "calls")
+    graph = JobGraph()
+    graph.add(Job(name="flaky", fn=_flaky, args=(counter, 2, "ok"),
+                  retries=3))
+    manifest = str(tmp_path / "run.jsonl")
+    runner = FarmRunner(None, jobs=1, backoff=0.001, manifest_path=manifest)
+    results = runner.run(graph)
+    assert results["flaky"] == "ok"
+    record = read_manifest(manifest)[0]
+    assert record["state"] == "ok"
+    assert record["attempts"] == 3
+
+
+def test_runner_retries_then_succeeds_in_pool(tmp_path):
+    counter = str(tmp_path / "calls")
+    graph = JobGraph()
+    graph.add(Job(name="flaky", fn=_flaky, args=(counter, 1, "ok")))
+    manifest = str(tmp_path / "run.jsonl")
+    runner = FarmRunner(None, jobs=2, backoff=0.001, manifest_path=manifest)
+    results = runner.run(graph)
+    assert results["flaky"] == "ok"
+    record = read_manifest(manifest)[0]
+    assert record["attempts"] == 2
+    assert summarize_manifest([record])["retries"] == 1
+
+
+@pytest.mark.parametrize("jobs", [1, 2])
+def test_runner_surfaces_permanent_failure(tmp_path, jobs):
+    graph = JobGraph()
+    graph.add(Job(name="doomed", fn=_always_fail, retries=1))
+    graph.add(Job(name="downstream", fn=_identity, args=(Ref("doomed"),)))
+    manifest = str(tmp_path / "run.jsonl")
+    runner = FarmRunner(None, jobs=jobs, backoff=0.001,
+                        manifest_path=manifest)
+    with pytest.raises(CampaignError) as excinfo:
+        runner.run(graph)
+    assert "doomed" in excinfo.value.failures
+    by_job = {record["job"]: record for record in read_manifest(manifest)}
+    assert by_job["doomed"]["state"] == "failed"
+    assert by_job["doomed"]["attempts"] == 2
+    assert "boom" in by_job["doomed"]["error"]
+    assert by_job["downstream"]["state"] == "blocked"
+    assert "doomed" in by_job["downstream"]["error"]
+
+
+def test_runner_non_strict_returns_partial_results(tmp_path):
+    graph = JobGraph()
+    graph.add(Job(name="fine", fn=_identity, args=(1,)))
+    graph.add(Job(name="doomed", fn=_always_fail, retries=0))
+    graph.add(Job(name="blocked", fn=_identity, args=(Ref("doomed"),)))
+    runner = FarmRunner(None, jobs=1, backoff=0.001)
+    results = runner.run(graph, strict=False)
+    assert results == {"fine": 1}
+    assert runner.report.states == {"fine": "ok", "doomed": "failed",
+                                    "blocked": "blocked"}
+
+
+def test_runner_expand_adds_downstream_jobs(tmp_path):
+    graph = JobGraph()
+    graph.add(Job(name="seed", fn=_identity, args=(6,),
+                  expand=_expand_with_square))
+    results = FarmRunner(None, jobs=1).run(graph)
+    assert results == {"seed": 6, "square": 36}
+
+
+def test_runner_recovers_from_corrupt_cache_entry(tmp_path):
+    store = ArtifactStore(str(tmp_path / "store"))
+    counter = str(tmp_path / "calls")
+    key = stable_digest(["double", 5])
+
+    def build():
+        graph = JobGraph()
+        graph.add(Job(name="double", fn=_counted_double,
+                      args=(counter, 5), key=key))
+        return graph
+
+    FarmRunner(store, jobs=1).run(build())
+    # smash the cached entry's blob on disk
+    record = store._load_record(key)
+    with open(store._block_path(record["meta"]["blob"]), "wb") as handle:
+        handle.write(zlib.compress(b"garbage"))
+    runner = FarmRunner(store, jobs=1)
+    results = runner.run(build())
+    assert results["double"] == 10
+    assert runner.report.cache["double"] == "miss"  # recomputed, not served
+    with open(counter) as handle:
+        assert len(handle.read().splitlines()) == 2
+    assert store.get(key) == 10  # the bad entry was replaced
+
+
+# -- end-to-end: farm campaign == direct pipeline ---------------------------
+
+
+PIPELINE = dict(slice_size=10_000, warmup=20_000, max_k=4, max_alternates=1)
+
+
+@pytest.fixture(scope="module")
+def mcf_image():
+    return get_app("505.mcf_r").build("test")
+
+
+def test_farm_campaign_matches_direct_path(tmp_path, mcf_image):
+    store = ArtifactStore(str(tmp_path / "store"))
+    cold_manifest = str(tmp_path / "cold.jsonl")
+    outcome = run_pinpoints_farm(
+        mcf_image, "505.mcf_r", store, jobs=1,
+        manifest_path=cold_manifest,
+        validations=[elfie_validation("v", trials=1)],
+        **PIPELINE)
+    direct = run_pinpoints(mcf_image, "505.mcf_r", **PIPELINE)
+    reference = validate_with_elfies(direct, trials=1)
+
+    assert [r.name for r in outcome.result.regions] == \
+        [r.name for r in direct.regions]
+    assert outcome.result.pinballs.keys() == direct.pinballs.keys()
+    assert outcome.result.elfies.keys() == direct.elfies.keys()
+    farm_validation = outcome.validations["v"]
+    assert farm_validation.abs_error_percent == reference.abs_error_percent
+    assert farm_validation.covered_weight == reference.covered_weight
+
+    # warm re-run: everything cached, no capture or conversion executes
+    warm_manifest = str(tmp_path / "warm.jsonl")
+    warm = run_pinpoints_farm(
+        mcf_image, "505.mcf_r", store, jobs=1,
+        manifest_path=warm_manifest,
+        validations=[elfie_validation("v", trials=1)],
+        **PIPELINE)
+    records = read_manifest(warm_manifest)
+    assert not executed_jobs(records, "log")
+    assert not executed_jobs(records, "convert")
+    assert not executed_jobs(records, "validate")
+    assert (warm.validations["v"].abs_error_percent
+            == farm_validation.abs_error_percent)
+
+
+# -- CLI --------------------------------------------------------------------
+
+
+def test_cli_farm_run_stats_gc(tmp_path, capsys):
+    store_dir = str(tmp_path / "farm")
+    manifest = str(tmp_path / "run.jsonl")
+    argv = ["farm", "run", "--store", store_dir, "--app", "505.mcf_r",
+            "--input", "test", "--jobs", "1", "--slice-size", "10000",
+            "--warmup", "20000", "--max-k", "4", "--alternates", "1",
+            "--trials", "1", "--manifest", manifest]
+    assert main(argv) == 0
+    cold = capsys.readouterr().out
+    assert "505.mcf_r:" in cold and "coverage" in cold
+    assert "cache hits: 0" in cold
+
+    assert main(argv) == 0  # warm: same campaign, all hits
+    warm = capsys.readouterr().out
+    assert "misses: 0" in warm
+
+    assert main(["farm", "stats", "--store", store_dir]) == 0
+    stats = json.loads(capsys.readouterr().out)
+    assert stats["objects"] > 0
+    assert stats["dedup_ratio"] >= 1.0
+
+    assert main(["farm", "gc", "--store", store_dir]) == 0
+    assert "live" in capsys.readouterr().out
