@@ -20,7 +20,6 @@ from repro.analysis import format_table
 from repro.core import MarkerSpec, Pinball2Elf, Pinball2ElfOptions
 from repro.pinplay import RegionSpec, log_region
 from repro.simulators import SniperSim
-from repro.simulators.sniper import profile_end_condition
 from repro.workloads import get_app
 
 

@@ -8,7 +8,7 @@ terminal and in the captured bench logs.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterable, List, Optional, Sequence, Tuple, Union
+from typing import Iterable, List, Sequence, Tuple, Union
 
 Cell = Union[str, int, float]
 

@@ -16,7 +16,13 @@ The checkpoint farm (store-memoized, parallel PinPoints campaigns):
     python -m repro.core.cli farm run   --store .farm --app 502.gcc_r \\
         --app 505.mcf_r --jobs 4 --manifest run.jsonl
     python -m repro.core.cli farm stats --store .farm
-    python -m repro.core.cli farm gc    --store .farm
+    python -m repro.core.cli farm gc    --store .farm [--dry-run]
+
+Global ``--trace FILE`` / ``--metrics FILE`` (before the subcommand)
+export a Chrome trace-event JSON and a metrics snapshot of the run:
+
+    python -m repro.core.cli --trace run.json --metrics run-metrics.json \\
+        farm run --store .farm --app 505.mcf_r --manifest run.jsonl
 
 Binaries are PX ELF executables (build them with
 ``repro.workloads.build_executable`` or the assembler).
@@ -32,6 +38,7 @@ from typing import List, Optional
 from repro.core.markers import MarkerSpec
 from repro.core.pinball2elf import Pinball2Elf, Pinball2ElfOptions
 from repro.core.elfie import run_elfie
+from repro.observe import hooks
 from repro.pinplay.logger import LogOptions, log_region
 from repro.pinplay.pinball import Pinball
 from repro.pinplay.regions import RegionSpec
@@ -169,22 +176,37 @@ def _cmd_farm_run(args: argparse.Namespace) -> int:
               "workers: %d" % (summary["jobs"], summary["cache_hits"],
                                summary["cache_misses"], summary["retries"],
                                len(summary["workers"])))
+        lookups = summary["cache_hits"] + summary["cache_misses"]
+        hit_rate = 100.0 * summary["cache_hits"] / lookups if lookups else 0.0
+        stage_walls = "  ".join(
+            "%s %.2fs" % (stage, info["wall_s"])
+            for stage, info in summary["stages"].items() if info["wall_s"])
+        print("cache-hit rate: %.1f%%  stage wall: %s"
+              % (hit_rate, stage_walls or "all cached"))
     return 0
 
 
 def _cmd_farm_stats(args: argparse.Namespace) -> int:
     from repro.farm import ArtifactStore
 
-    print(json.dumps(ArtifactStore(args.store).stats().to_json(), indent=2))
+    stats = ArtifactStore(args.store).stats()
+    print(json.dumps(stats.to_json(), indent=2))
+    # stdout stays pure JSON (pipe to jq); the human line goes to stderr
+    sys.stderr.write(
+        "block pool: %d raw -> %d compressed bytes (%.2fx), dedup %.2fx\n"
+        % (stats.unique_bytes, stats.compressed_bytes,
+           stats.compression_ratio, stats.dedup_ratio))
     return 0
 
 
 def _cmd_farm_gc(args: argparse.Namespace) -> int:
     from repro.farm import ArtifactStore
 
-    result = ArtifactStore(args.store).gc()
-    print("removed %d blocks (%d bytes), %d live"
-          % (result.removed_blocks, result.freed_bytes, result.live_blocks))
+    result = ArtifactStore(args.store).gc(dry_run=args.dry_run)
+    verb = "would remove" if args.dry_run else "removed"
+    print("%s %d blocks (%d bytes), %d live"
+          % (verb, result.removed_blocks, result.freed_bytes,
+             result.live_blocks))
     return 0
 
 
@@ -193,6 +215,11 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro.core.cli",
         description="pinball2elf tool-chain command line",
     )
+    parser.add_argument("--trace", metavar="FILE", default=None,
+                        help="write a Chrome trace-event JSON of the run "
+                             "(load in chrome://tracing or Perfetto)")
+    parser.add_argument("--metrics", metavar="FILE", default=None,
+                        help="write a JSON metrics snapshot of the run")
     sub = parser.add_subparsers(dest="command", required=True)
 
     p2e = sub.add_parser("pinball2elf", help="convert a pinball to an ELFie")
@@ -274,6 +301,8 @@ def build_parser() -> argparse.ArgumentParser:
     farm_gc = farm_sub.add_parser(
         "gc", help="sweep unreferenced blocks from the store")
     farm_gc.add_argument("--store", default=".farm")
+    farm_gc.add_argument("--dry-run", action="store_true",
+                         help="report what would be swept without deleting")
     farm_gc.set_defaults(func=_cmd_farm_gc)
     return parser
 
@@ -281,7 +310,19 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: Optional[List[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.func(args)
+    if not (args.trace or args.metrics):
+        return args.func(args)
+    obs = hooks.enable()
+    try:
+        return args.func(args)
+    finally:
+        hooks.disable()
+        if args.trace:
+            obs.tracer.export(args.trace)
+            sys.stderr.write("wrote trace %s\n" % args.trace)
+        if args.metrics:
+            obs.metrics.export(args.metrics)
+            sys.stderr.write("wrote metrics %s\n" % args.metrics)
 
 
 if __name__ == "__main__":

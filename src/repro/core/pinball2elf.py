@@ -25,16 +25,15 @@ link against their own callback code (§II-B5).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import List, Optional, Tuple
 
 from repro.elf.linkscript import LinkerRegion, LinkerScript
 from repro.elf.structs import ET_EXEC, ET_REL, SHF_ALLOC, SHF_EXECINSTR, SHF_WRITE
 from repro.elf.writer import ElfBuilder
 from repro.isa.assembler import Assembler
-from repro.isa.disassembler import disassemble
 from repro.machine.memory import PAGE_SIZE, PROT_EXEC, PROT_RWX
 from repro.core.markers import MarkerSpec
-from repro.core.startup import CTX_POP_OFFSET, StartupGenerator, StartupPlan
+from repro.core.startup import StartupGenerator, StartupPlan
 from repro.core.symbols import add_elfie_symbols
 from repro.pinplay.pinball import Pinball
 from repro.pinplay.sysstate import SysState

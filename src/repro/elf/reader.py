@@ -15,7 +15,6 @@ from repro.elf.structs import (
     EHDR_SIZE,
     PHDR_SIZE,
     SHDR_SIZE,
-    SHT_STRTAB,
     SHT_SYMTAB,
     SYM_SIZE,
     ElfHeader,

@@ -9,8 +9,7 @@ headers, and 24-byte symbol records.
 from __future__ import annotations
 
 import struct
-from dataclasses import dataclass, field
-from typing import List
+from dataclasses import dataclass
 
 # e_ident layout.
 ELF_MAGIC = b"\x7fELF"

@@ -9,17 +9,15 @@ table but get no PT_LOAD entry, so the loader never maps them.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from dataclasses import dataclass
+from typing import Dict, List
 
 from repro.elf.structs import (
     EHDR_SIZE,
     EM_PX,
     ET_EXEC,
-    ET_REL,
     PHDR_SIZE,
     PT_LOAD,
-    SHDR_SIZE,
     SHF_ALLOC,
     SHT_NULL,
     SHT_PROGBITS,

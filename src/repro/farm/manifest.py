@@ -77,14 +77,18 @@ def summarize_manifest(records: List[Record]) -> Dict[str, Any]:
             summary["workers"].add(record["worker"])
         stage = record.get("stage") or "other"
         per_stage = summary["stages"].setdefault(
-            stage, {"jobs": 0, "hits": 0, "executed": 0})
+            stage, {"jobs": 0, "hits": 0, "executed": 0, "wall_s": 0.0})
         per_stage["jobs"] += 1
         if cache == "hit":
             per_stage["hits"] += 1
         elif state == "ok":
             per_stage["executed"] += 1
+        if cache != "hit" and record.get("wall_s"):
+            per_stage["wall_s"] += record["wall_s"]
     summary["workers"] = sorted(summary["workers"])
     summary["executed_wall_s"] = round(summary["executed_wall_s"], 4)
+    for per_stage in summary["stages"].values():
+        per_stage["wall_s"] = round(per_stage["wall_s"], 4)
     return summary
 
 

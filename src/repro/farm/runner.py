@@ -28,6 +28,7 @@ from typing import Any, Dict, List, Optional
 from repro.farm.jobs import Job, JobGraph, resolve_refs
 from repro.farm.manifest import RunManifest
 from repro.farm.store import ArtifactStore, StoreCorruption
+from repro.observe import hooks
 
 
 class JobError(Exception):
@@ -100,6 +101,7 @@ class FarmRunner:
         self.report.cache[job.name] = cache
         if state != "ok":
             self.report.failures[job.name] = error or state
+        wall = round(wall_s, 6)
         if self.manifest is not None:
             self.manifest.append({
                 "job": job.name,
@@ -107,11 +109,28 @@ class FarmRunner:
                 "key": job.key,
                 "state": state,
                 "cache": cache,
-                "wall_s": round(wall_s, 6),
+                "wall_s": wall,
                 "worker": worker,
                 "attempts": attempts,
                 "error": error,
             })
+        obs = hooks.OBS
+        if obs.enabled:
+            obs.count("farm.jobs")
+            obs.count("farm.cache.%s" % cache)
+            if attempts > 1:
+                obs.count("farm.retries", attempts - 1)
+            if state != "ok":
+                obs.count("farm.%s" % state)
+            if wall:
+                # Executed jobs ran in a pool worker the tracer cannot
+                # see; emit the span parent-side from the measured wall
+                # time, so trace and manifest agree exactly.
+                obs.observe("farm.job_wall_s", wall)
+                obs.complete(job.name, wall,
+                             cat="farm.%s" % (job.stage or "job"),
+                             state=state, cache=cache, worker=worker,
+                             attempts=attempts)
 
     # -- execution ---------------------------------------------------------
 

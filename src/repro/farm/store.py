@@ -24,9 +24,10 @@ import os
 import tempfile
 import zlib
 from dataclasses import dataclass, field
-from typing import Any, Dict, Iterator, List, Optional
+from typing import Any, Dict, Iterator, List
 
 from repro.farm import codec
+from repro.observe import hooks
 
 _FORMAT = {"format": "repro-farm-store", "version": 1}
 
@@ -47,8 +48,12 @@ class StoreStats:
     logical_bytes: int = 0
     #: Raw bytes of the unique blocks (post-dedup, pre-compression).
     unique_bytes: int = 0
-    #: Compressed bytes on disk.
+    #: Compressed bytes on disk (whole block pool, referenced or not).
     stored_bytes: int = 0
+    #: Compressed on-disk bytes of the *referenced* blocks only — the
+    #: consistent denominator for the compression ratio (stray blocks
+    #: awaiting gc have no known raw size and would skew it).
+    compressed_bytes: int = 0
 
     @property
     def dedup_ratio(self) -> float:
@@ -57,8 +62,11 @@ class StoreStats:
 
     @property
     def compression_ratio(self) -> float:
-        """unique / stored: raw-to-compressed factor."""
-        return self.unique_bytes / self.stored_bytes if self.stored_bytes else 1.0
+        """unique / compressed: raw-to-compressed factor over the
+        referenced block pool."""
+        if not self.compressed_bytes:
+            return 1.0
+        return self.unique_bytes / self.compressed_bytes
 
     def to_json(self) -> dict:
         return {
@@ -70,21 +78,28 @@ class StoreStats:
             "stored_bytes": self.stored_bytes,
             "dedup_ratio": round(self.dedup_ratio, 3),
             "compression_ratio": round(self.compression_ratio, 3),
+            "block_pool": {
+                "raw_bytes": self.unique_bytes,
+                "compressed_bytes": self.compressed_bytes,
+                "compression_ratio": round(self.compression_ratio, 3),
+            },
         }
 
 
 @dataclass
 class GCStats:
-    """Result of a mark-sweep pass."""
+    """Result of a mark-sweep pass (real or ``dry_run``)."""
 
     live_blocks: int = 0
     removed_blocks: int = 0
     freed_bytes: int = 0
+    dry_run: bool = False
 
     def to_json(self) -> dict:
         return {"live_blocks": self.live_blocks,
                 "removed_blocks": self.removed_blocks,
-                "freed_bytes": self.freed_bytes}
+                "freed_bytes": self.freed_bytes,
+                "dry_run": self.dry_run}
 
 
 def _atomic_write(path: str, data: bytes) -> None:
@@ -133,11 +148,23 @@ class ArtifactStore:
 
     def _write_block(self, digest: str, data: bytes) -> None:
         path = self._block_path(digest)
+        obs = hooks.OBS
         if os.path.exists(path):
+            if obs.enabled:
+                obs.count("store.blocks_deduped")
+                obs.count("store.bytes_deduped", len(data))
             return  # content-addressed: existing contents are identical
-        _atomic_write(path, zlib.compress(data, self.compress_level))
+        compressed = zlib.compress(data, self.compress_level)
+        if obs.enabled:
+            obs.count("store.blocks_written")
+            obs.count("store.bytes_raw", len(data))
+            obs.count("store.bytes_stored", len(compressed))
+        _atomic_write(path, compressed)
 
     def _read_block(self, digest: str) -> bytes:
+        obs = hooks.OBS
+        if obs.enabled:
+            obs.count("store.blocks_read")
         path = self._block_path(digest)
         try:
             with open(path, "rb") as handle:
@@ -264,25 +291,38 @@ class ArtifactStore:
             stats.blocks += 1
             stats.stored_bytes += os.path.getsize(self._block_path(digest))
             # size known only for blocks some live object references
-        stats.unique_bytes = sum(size for digest, size in unique.items()
-                                 if os.path.exists(self._block_path(digest)))
+        for digest, size in unique.items():
+            path = self._block_path(digest)
+            if os.path.exists(path):
+                stats.unique_bytes += size
+                stats.compressed_bytes += os.path.getsize(path)
         return stats
 
-    def gc(self) -> GCStats:
-        """Mark-sweep: delete blocks no live artifact references."""
+    def gc(self, dry_run: bool = False) -> GCStats:
+        """Mark-sweep: delete blocks no live artifact references.
+
+        With ``dry_run`` nothing is unlinked; the returned stats report
+        what a real sweep *would* remove (the ``farm gc --dry-run``
+        report).
+        """
         live: set = set()
         for key in self.keys():
             record = self._load_record(key)
             live.update(_referenced_digests(record["meta"]))
-        result = GCStats()
+        result = GCStats(dry_run=dry_run)
         for digest in list(self._iter_block_files()):
             if digest in live:
                 result.live_blocks += 1
                 continue
             path = self._block_path(digest)
             result.freed_bytes += os.path.getsize(path)
-            os.unlink(path)
+            if not dry_run:
+                os.unlink(path)
             result.removed_blocks += 1
+        obs = hooks.OBS
+        if obs.enabled and not dry_run:
+            obs.count("store.gc_removed_blocks", result.removed_blocks)
+            obs.count("store.gc_freed_bytes", result.freed_bytes)
         return result
 
     def verify(self) -> List[str]:

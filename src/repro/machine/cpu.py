@@ -21,6 +21,7 @@ from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Tuple
 from repro.isa.encoding import decode, InstructionDecodeError
 from repro.isa.instructions import Instruction, Op
 from repro.machine.memory import AddressSpace, PageFault
+from repro.observe import hooks
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.machine.machine import Machine, Thread
@@ -208,6 +209,11 @@ class Cpu:
                 self._pmu_redirect(thread)
             if not thread.alive:
                 break
+        # Telemetry fires once per quantum, not per instruction, so the
+        # disabled path costs one attribute lookup per scheduler slice.
+        obs = hooks.OBS
+        if obs.enabled and executed:
+            obs.count("cpu.instructions", executed)
         return executed
 
     def _pmu_redirect(self, thread: "Thread") -> None:
@@ -219,6 +225,9 @@ class Cpu:
         handler.  The counter is disarmed so the handler itself runs
         freely.
         """
+        obs = hooks.OBS
+        if obs.enabled:
+            obs.count("cpu.pmu_traps")
         handler = thread.pmu_handler
         thread.pmu_trap_at = NO_TRAP
         thread.pmu_handler = None

@@ -14,11 +14,11 @@ import struct
 from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Tuple
 
 from repro.machine.memory import (
-    PAGE_SIZE,
     PROT_RW,
     page_align_up,
 )
 from repro.machine.vfs import FileDescriptorTable, FileSystem, VfsError
+from repro.observe import hooks
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.machine.machine import Machine, Thread
@@ -179,7 +179,12 @@ class Kernel:
         number = thread.regs.gpr[0]
         self.last_effects = []
         handler = self._dispatch.get(number)
-        self.trace.append(NR.NAMES.get(number, "nr_%d" % number))
+        name = NR.NAMES.get(number, "nr_%d" % number)
+        self.trace.append(name)
+        obs = hooks.OBS
+        if obs.enabled:
+            obs.count("kernel.syscalls")
+            obs.count("kernel.syscall.%s" % name)
         if handler is None:
             result = -ENOSYS
         else:

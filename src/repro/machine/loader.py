@@ -22,7 +22,7 @@ from __future__ import annotations
 import random
 import struct
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, Optional, Sequence
 
 from repro.elf.reader import ElfFile, ElfFormatError
 from repro.elf.structs import PT_LOAD, pflags_to_prot

@@ -13,16 +13,17 @@ workflows map onto it directly:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional
+from typing import Dict, List, Optional
 
 from repro.isa.registers import RegisterFile
 from repro.machine.cpu import Cpu, CpuFault, NO_TRAP
 from repro.machine.kernel import Kernel
 from repro.machine.memory import AddressSpace, PageFault
 from repro.machine.perf import PMU
-from repro.machine.scheduler import Scheduler, ScheduleSlice
+from repro.machine.scheduler import Scheduler
 from repro.machine.tool import Tool
 from repro.machine.vfs import FileSystem
+from repro.observe import hooks
 
 SIGSEGV = 11
 
@@ -174,6 +175,11 @@ class Machine:
     def deliver_fault(self, thread: Thread, signal: int, detail: str,
                       fault_address: Optional[int] = None) -> None:
         """Kill the process with a signal (SIGSEGV/SIGFPE/SIGILL)."""
+        obs = hooks.OBS
+        if obs.enabled:
+            obs.count("machine.faults")
+            obs.instant("machine.fault", "machine", tid=thread.tid,
+                        signal=signal, detail=detail)
         for t in self.threads.values():
             t.alive = False
         self.exit_status = ExitStatus(

@@ -23,15 +23,16 @@ Fat-pinball switches (paper §II-A):
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.machine.kernel import NR
 from repro.machine.loader import load_elf
-from repro.machine.machine import Machine, Thread
+from repro.machine.machine import Machine
 from repro.machine.memory import PAGE_SHIFT
 from repro.machine.tool import Tool
 from repro.machine.vfs import FileSystem
+from repro.observe import hooks
 from repro.pinplay.pinball import Pinball, SyscallRecord, ThreadRecord
 from repro.pinplay.regions import RegionSpec
 
@@ -125,11 +126,14 @@ def log_regions(image: bytes, regions: Sequence[RegionSpec],
     machine.attach(recorder)
     out: Dict[str, Pinball] = {}
 
+    obs = hooks.OBS
     for region in ordered:
         window_start = region.warmup_start
         window_length = region.end - window_start
         if machine.executed_total < window_start:
-            status = machine.run(max_instructions=window_start)
+            with obs.span("logger.fast_forward", "pinplay",
+                          region=region.name):
+                status = machine.run(max_instructions=window_start)
             if status.kind != "stopped":
                 break  # program ended before this region
         pages = machine.mem.snapshot()
@@ -150,12 +154,17 @@ def log_regions(image: bytes, regions: Sequence[RegionSpec],
         recorder.syscalls = []
         machine.scheduler.record = True
         machine.scheduler.trace = []
-        status = machine.run(
-            max_instructions=window_start + window_length)
+        with obs.span("logger.record", "pinplay", region=region.name):
+            status = machine.run(
+                max_instructions=window_start + window_length)
         machine.scheduler.record = False
         for record in threads:
             thread = machine.threads[record.tid]
             record.region_icount = thread.icount - start_icounts[record.tid]
+        if obs.enabled:
+            obs.count("logger.regions")
+            obs.count("logger.pages_captured", len(pages))
+            obs.count("logger.syscall_records", len(recorder.syscalls))
         out[region.name] = Pinball(
             name=region.name,
             region=region,
@@ -198,9 +207,12 @@ def log_region(image: bytes, region: RegionSpec,
     window_start = region.warmup_start
     window_length = region.end - window_start
 
+    obs = hooks.OBS
+
     # Fast-forward (uninstrumented) to the window start.
     if window_start:
-        status = machine.run(max_instructions=window_start)
+        with obs.span("logger.fast_forward", "pinplay", region=region.name):
+            status = machine.run(max_instructions=window_start)
         if status.kind != "stopped":
             raise ValueError(
                 "program ended (%s) before region start at %d instructions"
@@ -236,7 +248,8 @@ def log_region(image: bytes, region: RegionSpec,
         machine.mem.touch_hook = (
             lambda page, is_write: recorder.touched_pages.add(page)
         )
-    machine.run(max_instructions=window_start + window_length)
+    with obs.span("logger.record", "pinplay", region=region.name):
+        machine.run(max_instructions=window_start + window_length)
     machine.scheduler.record = False
     machine.mem.touch_hook = None
     machine.detach(recorder)
@@ -250,6 +263,11 @@ def log_region(image: bytes, region: RegionSpec,
     else:
         kept = {page: data for page, data in pages.items()
                 if page in recorder.touched_pages}
+
+    if obs.enabled:
+        obs.count("logger.regions")
+        obs.count("logger.pages_captured", len(kept))
+        obs.count("logger.syscall_records", len(recorder.syscalls))
 
     return Pinball(
         name=options.name,

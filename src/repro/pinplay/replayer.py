@@ -23,9 +23,10 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
 from repro.machine.kernel import NR
-from repro.machine.machine import ExitStatus, Machine, Thread
+from repro.machine.machine import ExitStatus, Machine
 from repro.machine.tool import Tool
 from repro.machine.vfs import FileSystem
+from repro.observe import hooks
 from repro.pinplay.pinball import Pinball, SyscallRecord
 
 
@@ -195,7 +196,10 @@ def replay(pinball: Pinball, injection: bool = True, seed: int = 0,
         if budget is None:
             budget = 4 * max(pinball.region_icount, 1)
 
-    status = machine.run(max_instructions=budget)
+    obs = hooks.OBS
+    with obs.span("replay", "pinplay", pinball=pinball.name,
+                  injection=injection):
+        status = machine.run(max_instructions=budget)
 
     if tool is not None:
         machine.detach(tool)
@@ -214,6 +218,15 @@ def replay(pinball: Pinball, injection: bool = True, seed: int = 0,
                        record.region_icount)
                 )
                 break
+
+    if obs.enabled:
+        obs.count("replay.runs")
+        if tool is not None:
+            obs.count("replay.injected_syscalls", tool.injected)
+        if diverged:
+            obs.count("replay.divergences")
+            obs.instant("replay.divergence", "pinplay",
+                        pinball=pinball.name, detail=diverged)
 
     return ReplayResult(
         machine=machine,

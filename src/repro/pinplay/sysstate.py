@@ -25,8 +25,8 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 from repro.machine.kernel import NR
-from repro.machine.vfs import FileSystem, SEEK_CUR, SEEK_END, SEEK_SET
-from repro.pinplay.pinball import Pinball, SyscallRecord
+from repro.machine.vfs import FileSystem
+from repro.pinplay.pinball import Pinball
 
 
 @dataclass

@@ -14,7 +14,7 @@ with a whole-program native run on real hardware.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
 from repro.machine.loader import load_elf

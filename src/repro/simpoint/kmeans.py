@@ -9,7 +9,7 @@ reaches a fraction of the best observed BIC.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Sequence
 
 import numpy as np

@@ -19,7 +19,7 @@ Two driver paths produce identical results:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Any, Callable, Dict, List, Optional, Sequence
 
 from repro.core.markers import MarkerSpec
 from repro.core.pinball2elf import ElfieArtifact, Pinball2Elf, Pinball2ElfOptions
@@ -28,7 +28,8 @@ from repro.farm.jobs import Job, JobGraph, Ref
 from repro.farm.runner import FarmRunner
 from repro.farm.store import ArtifactStore
 from repro.machine.vfs import FileSystem
-from repro.pinplay.logger import LogOptions, log_region, log_regions
+from repro.observe import hooks
+from repro.pinplay.logger import log_regions
 from repro.pinplay.pinball import Pinball
 from repro.pinplay.regions import RegionSpec
 from repro.simpoint.bbv import BBVProfile, collect_bbv
@@ -82,8 +83,11 @@ def run_pinpoints(image: bytes, app_name: str,
     pinball is converted to an ELFie with a ROI marker and graceful-exit
     counters.
     """
-    profile = collect_bbv(image, slice_size=slice_size, seed=seed, fs=fs)
-    simpoints = select_simpoints(profile, max_k=max_k, seed=cluster_seed)
+    obs = hooks.OBS
+    with obs.span("pinpoints.profile", "pinpoints", app=app_name):
+        profile = collect_bbv(image, slice_size=slice_size, seed=seed, fs=fs)
+    with obs.span("pinpoints.cluster", "pinpoints", app=app_name):
+        simpoints = select_simpoints(profile, max_k=max_k, seed=cluster_seed)
     regions = simpoints.regions(warmup=warmup,
                                 name_prefix="%s.r" % app_name,
                                 max_alternates=max_alternates)
@@ -96,17 +100,21 @@ def run_pinpoints(image: bytes, app_name: str,
     if not capture:
         return result
     marker = marker or MarkerSpec("sniper", 0xE1F)
-    for group in _capture_passes(regions, profile.total_icount):
-        pinballs = log_regions(image, group, seed=seed, fs=fs)
-        for name, pinball in pinballs.items():
-            pinball.program_icount = profile.total_icount
-            result.pinballs[name] = pinball
-            if make_elfies:
-                artifact = Pinball2Elf(
-                    pinball,
-                    Pinball2ElfOptions(perf_exit=perf_exit, marker=marker),
-                ).convert()
-                result.elfies[name] = artifact
+    with obs.span("pinpoints.capture", "pinpoints", app=app_name):
+        for group in _capture_passes(regions, profile.total_icount):
+            pinballs = log_regions(image, group, seed=seed, fs=fs)
+            for name, pinball in pinballs.items():
+                pinball.program_icount = profile.total_icount
+                result.pinballs[name] = pinball
+                if make_elfies:
+                    with obs.span("pinpoints.convert", "pinpoints",
+                                  region=name):
+                        artifact = Pinball2Elf(
+                            pinball,
+                            Pinball2ElfOptions(perf_exit=perf_exit,
+                                               marker=marker),
+                        ).convert()
+                    result.elfies[name] = artifact
     return result
 
 
@@ -364,17 +372,21 @@ def run_pinpoints_campaign(images: Dict[str, bytes],
     what :func:`run_pinpoints` + the validation functions produce for
     each app, plus the run manifest for observability.
     """
-    graph = JobGraph()
-    for app_name, image in images.items():
-        add_pinpoints_jobs(graph, image, app_name,
-                           slice_size=slice_size, warmup=warmup,
-                           max_k=max_k, seed=seed,
-                           max_alternates=max_alternates, marker=marker,
-                           perf_exit=perf_exit, cluster_seed=cluster_seed,
-                           validations=validations)
+    obs = hooks.OBS
+    with obs.span("campaign.build", "farm", apps=sorted(images)):
+        graph = JobGraph()
+        for app_name, image in images.items():
+            add_pinpoints_jobs(graph, image, app_name,
+                               slice_size=slice_size, warmup=warmup,
+                               max_k=max_k, seed=seed,
+                               max_alternates=max_alternates, marker=marker,
+                               perf_exit=perf_exit, cluster_seed=cluster_seed,
+                               validations=validations)
     if runner is None:
         runner = FarmRunner(store, jobs=jobs, manifest_path=manifest_path)
-    results = runner.run(graph)
+    with obs.span("campaign.run", "farm", apps=sorted(images),
+                  workers=runner.jobs):
+        results = runner.run(graph)
     return {
         app_name: FarmAppOutcome(
             result=results["%s/assemble" % app_name],

@@ -9,7 +9,7 @@ for the primary representative fails to execute correctly (§I-B:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import List, Optional
 
 import numpy as np

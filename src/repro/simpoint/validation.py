@@ -20,7 +20,7 @@ the paper's coverage-recovery strategy.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import Callable, List, Optional
 
 from repro.core.elfie import prepare_elfie_machine
 from repro.core.pinball2elf import ElfieArtifact

@@ -9,8 +9,8 @@ footprint column).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Set, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set
 
 LINE_SHIFT = 6
 LINE_SIZE = 1 << LINE_SHIFT

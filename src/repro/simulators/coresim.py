@@ -21,8 +21,8 @@ footprint, prefetcher traffic).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, Optional
+from dataclasses import dataclass
+from typing import Optional
 
 from repro.core.elfie import prepare_elfie_machine
 from repro.isa.instructions import Op

@@ -22,14 +22,15 @@ predictor.  Threads map to cores round-robin.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 from repro.core.elfie import prepare_elfie_machine
 from repro.isa.instructions import Op
-from repro.machine.machine import ExitStatus, Machine
+from repro.machine.machine import ExitStatus
 from repro.machine.tool import Tool
 from repro.machine.vfs import FileSystem
+from repro.observe import hooks
 from repro.pinplay.pinball import Pinball
 from repro.machine.scheduler import Scheduler, ScheduleSlice
 from repro.pinplay.replayer import _InjectionTool, _reconstruct
@@ -120,6 +121,8 @@ class _SniperTool(Tool):
         if not self.roi_active:
             if insn.op is Op.MARKER:
                 self.roi_active = True
+                hooks.OBS.instant("sniper.roi_enter", "sniper",
+                                  tid=thread.tid, pc=pc)
             return
         self.core_cycles[core] += self._instr_cost
         self.core_instructions[core] += 1
@@ -128,10 +131,14 @@ class _SniperTool(Tool):
         if self.end_pc is not None and pc == self.end_pc:
             self._end_seen += 1
             if self._end_seen >= self.end_count:
+                hooks.OBS.instant("sniper.roi_exit", "sniper",
+                                  reason="end condition", pc=pc)
                 machine.request_stop("sniper end condition")
                 return
         if (self.roi_budget is not None
                 and sum(self.core_instructions) >= self.roi_budget):
+            hooks.OBS.instant("sniper.roi_exit", "sniper",
+                              reason="instruction budget", pc=pc)
             machine.request_stop("sniper instruction budget")
 
     def on_basic_block(self, machine, thread, pc) -> None:
@@ -223,7 +230,8 @@ class SniperSim:
         if timing_driven:
             machine.scheduler = _TimingDrivenScheduler(tool)
         machine.attach(tool)
-        status = machine.run(max_instructions=max_instructions)
+        with hooks.OBS.span("sniper.simulate_elfie", "sniper"):
+            status = machine.run(max_instructions=max_instructions)
         machine.detach(tool)
         return self._finish(tool, status, constrained=False)
 
@@ -246,7 +254,9 @@ class SniperSim:
         budget = sum(s.quantum for s in pinball.schedule)
         if budget == 0:
             budget = pinball.region_icount
-        status = machine.run(max_instructions=budget)
+        with hooks.OBS.span("sniper.simulate_pinball", "sniper",
+                            pinball=pinball.name):
+            status = machine.run(max_instructions=budget)
         machine.detach(tool)
         machine.detach(injector)
         return self._finish(tool, status, constrained=True)

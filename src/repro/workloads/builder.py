@@ -10,8 +10,8 @@ retire more instructions than its constrained pinball replay (Fig. 11).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import List, Optional
+from dataclasses import dataclass
+from typing import List
 
 from repro.workloads.compile import build_executable
 from repro.workloads.phases import KERNEL_INSTRUCTIONS_PER_ITER, phase_source

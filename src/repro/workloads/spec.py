@@ -20,8 +20,8 @@ DESIGN.md §4).
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
 
 from repro.workloads.builder import PhaseSpec, ProgramBuilder
 

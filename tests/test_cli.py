@@ -5,7 +5,7 @@ import json
 import pytest
 
 from repro.core.cli import main
-from repro.pinplay import Pinball, RegionSpec, log_region
+from repro.pinplay import Pinball
 from repro.workloads import build_executable
 
 PROGRAM = """

@@ -8,8 +8,6 @@ harnesses (which cover them at full scale).
 import runpy
 import sys
 
-import pytest
-
 
 def _run_example(path, argv=None):
     old_argv = sys.argv

@@ -1,7 +1,5 @@
 """Focused tests of kernel syscall semantics (beyond the e2e tests)."""
 
-import pytest
-
 from repro.machine import Machine
 from repro.machine.kernel import (
     ARCH_GET_FS,
@@ -13,7 +11,6 @@ from repro.machine.kernel import (
     PR_SET_MM_START_BRK,
 )
 from repro.machine.memory import PROT_RW
-from repro.machine.vfs import FileSystem
 
 
 def _machine_with_thread():

@@ -1,9 +1,6 @@
 """End-to-end tests of the machine: load, run, syscalls, threads, faults."""
 
-import pytest
-
 from repro.machine import Machine, load_elf
-from repro.machine.loader import StackCollisionError
 from repro.machine.vfs import FileSystem
 from repro.workloads import build_executable, run_program
 

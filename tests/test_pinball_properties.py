@@ -1,11 +1,10 @@
 """Property-based tests on pinball serialization and core invariants."""
 
-import random
 
 import pytest
 from hypothesis import HealthCheck, given, settings, strategies as st
 
-from repro.isa.registers import GPR_NAMES, Flags, RegisterFile
+from repro.isa.registers import Flags, RegisterFile
 from repro.machine.memory import PAGE_SIZE
 from repro.machine.scheduler import ScheduleSlice
 from repro.pinplay.pinball import Pinball, SyscallRecord, ThreadRecord

@@ -11,7 +11,7 @@ from repro.pinplay import (
     log_region,
     replay,
 )
-from repro.workloads import build_executable, run_program
+from repro.workloads import build_executable
 
 COUNTER_PROGRAM = """
 _start:

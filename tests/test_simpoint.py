@@ -1,9 +1,7 @@
 """Tests for BBV profiling, k-means, SimPoint selection, validation."""
 
-import numpy as np
 import pytest
 
-from repro.pinplay.regions import RegionSpec
 from repro.simpoint import (
     collect_bbv,
     cluster_vectors,
@@ -13,7 +11,7 @@ from repro.simpoint import (
     validate_with_elfies,
 )
 from repro.simpoint.kmeans import project_vectors
-from repro.workloads import PhaseSpec, ProgramBuilder, build_executable
+from repro.workloads import PhaseSpec, ProgramBuilder
 
 TWO_PHASE = ProgramBuilder(
     name="twophase",

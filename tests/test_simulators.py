@@ -7,7 +7,6 @@ from repro.pinplay import RegionSpec, log_region
 from repro.simulators import (
     BranchPredictor,
     Cache,
-    CacheHierarchy,
     CoreSim,
     CoreSimConfig,
     Gem5Sim,

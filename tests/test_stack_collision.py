@@ -13,8 +13,6 @@ import pytest
 from repro.core import Pinball2Elf, Pinball2ElfOptions, run_elfie
 from repro.core.elfie import prepare_elfie_machine
 from repro.machine.loader import (
-    STACK_RANDOM_PAGES,
-    StackCollisionError,
     _randomized_stack_top,
 )
 from repro.machine.memory import PAGE_SIZE

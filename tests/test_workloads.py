@@ -10,7 +10,6 @@ from repro.workloads import (
     SPEC2017_FP_RATE,
     SPEC2017_INT_RATE,
     SPEC2017_OMP_SPEED,
-    build_executable,
     get_app,
     phase_source,
     run_program,
