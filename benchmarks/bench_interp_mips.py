@@ -1,0 +1,137 @@
+"""Interpreter throughput: superblock fast path vs per-instruction loop.
+
+The tentpole claim of the translation-cache work: decoding straight-line
+runs once into flat pre-bound blocks and executing them in a tight local
+loop yields >=2x MIPS over the classic per-instruction dispatch loop on
+the Table I micro workloads, with bit-identical architectural results.
+
+``cpu.fast_dispatch = False`` forces the slow path, which *is* the
+pre-change interpreter loop, so the A/B compares the two
+implementations inside one build.  The published artifact carries a
+machine-readable ``speedup_ratio:`` footer; CI reruns this bench in
+smoke mode (``REPRO_BENCH_FAST=1``) and fails if the fresh ratio drops
+more than 20% below the committed baseline.  The ratio — not raw MIPS —
+is the gate, because it is host-machine-independent.
+"""
+
+import os
+import re
+import time
+
+from conftest import FAST, RESULTS_DIR, publish
+
+from repro.analysis import Table
+from repro.machine import Machine, load_elf
+from repro.workloads import PhaseSpec, ProgramBuilder
+
+#: Allowed regression of the fast/slow speedup ratio vs the committed
+#: baseline before CI fails the build.
+RATIO_TOLERANCE = 0.20
+
+_RATIO_RE = re.compile(r"^speedup_ratio:\s*([0-9.]+)", re.MULTILINE)
+
+
+def _program(scale):
+    return ProgramBuilder(
+        name="mips", threads=1,
+        phases=[PhaseSpec("compute", scale, buffer_kb=16),
+                PhaseSpec("stream", scale, buffer_kb=16)],
+    ).build()
+
+
+def _measure(image, fast, repeats):
+    """Best-of-N wall time and the (deterministic) final machine state."""
+    best = float("inf")
+    machine = None
+    for _ in range(repeats):
+        candidate = Machine(seed=1)
+        load_elf(candidate, image)
+        candidate.cpu.fast_dispatch = fast
+        started = time.perf_counter()
+        status = candidate.run()
+        wall = time.perf_counter() - started
+        assert status.kind == "exit", status
+        if wall < best:
+            best = wall
+            machine = candidate
+    return machine, best
+
+
+def _arch_state(machine):
+    return tuple(sorted(
+        (t.tid, t.icount, t.cycles, t.branches, t.llc_misses)
+        for t in machine.threads.values()))
+
+
+def _baseline_ratio():
+    """Speedup ratio from the committed results file, if present."""
+    path = os.path.join(RESULTS_DIR, "interp_mips.txt")
+    try:
+        with open(path) as handle:
+            match = _RATIO_RE.search(handle.read())
+    except OSError:
+        return None
+    return float(match.group(1)) if match else None
+
+
+def run_bench(repeats=5):
+    # Smoke scale stays large enough that best-of-N wall times are not
+    # dominated by scheduler jitter on a busy CI host.
+    scale = 10_000 if FAST else 20_000
+    image = _program(scale)
+    baseline = _baseline_ratio()  # read before publish() overwrites it
+
+    fast_machine, fast_wall = _measure(image, fast=True, repeats=repeats)
+    slow_machine, slow_wall = _measure(image, fast=False, repeats=repeats)
+    assert _arch_state(fast_machine) == _arch_state(slow_machine)
+
+    icount = sum(t.icount for t in fast_machine.threads.values())
+    fast_mips = icount / fast_wall / 1e6
+    slow_mips = icount / slow_wall / 1e6
+    ratio = fast_mips / slow_mips
+    cpu = fast_machine.cpu
+    hit_rate = cpu.block_hits / max(1, cpu.block_hits + cpu.block_misses)
+
+    table = Table(
+        title="Interpreter MIPS (Table I micro workload, ST)",
+        headers=["measure", "value"],
+    )
+    table.add_row("instructions executed", icount)
+    table.add_row("per-instruction loop wall (s)", "%.4f" % slow_wall)
+    table.add_row("per-instruction loop MIPS", "%.3f" % slow_mips)
+    table.add_row("superblock fast path wall (s)", "%.4f" % fast_wall)
+    table.add_row("superblock fast path MIPS", "%.3f" % fast_mips)
+    table.add_row("speedup", "%.2fx" % ratio)
+    table.add_row("block cache hit rate", "%.4f" % hit_rate)
+    publish("interp_mips",
+            table.render() + "\nspeedup_ratio: %.3f" % ratio)
+    return ratio, baseline, fast_mips, slow_mips
+
+
+def test_interp_mips(benchmark):
+    ratio, baseline, fast_mips, slow_mips = benchmark.pedantic(
+        run_bench, rounds=1, iterations=1)
+    # the tentpole contract: the block cache at least doubles throughput
+    assert ratio >= 2.0, \
+        "fast path only %.2fx over the per-instruction loop" % ratio
+    if baseline is not None:
+        floor = baseline * (1.0 - RATIO_TOLERANCE)
+        assert ratio >= floor, \
+            "speedup regressed: %.2fx < %.2fx (baseline %.2fx - 20%%)" \
+            % (ratio, floor, baseline)
+
+
+def main():
+    ratio, baseline, fast_mips, slow_mips = run_bench()
+    print("fast %.2f MIPS, slow %.2f MIPS, speedup %.2fx (baseline %s)"
+          % (fast_mips, slow_mips, ratio,
+             "%.2fx" % baseline if baseline else "none"))
+    if ratio < 2.0:
+        raise SystemExit("speedup below the 2x contract")
+    if baseline is not None and ratio < baseline * (1.0 - RATIO_TOLERANCE):
+        raise SystemExit("speedup regressed >20%% vs baseline %.2fx"
+                         % baseline)
+
+
+if __name__ == "__main__":
+    main()

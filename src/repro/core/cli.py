@@ -183,6 +183,15 @@ def _cmd_farm_run(args: argparse.Namespace) -> int:
             for stage, info in summary["stages"].items() if info["wall_s"])
         print("cache-hit rate: %.1f%%  stage wall: %s"
               % (hit_rate, stage_walls or "all cached"))
+        if summary["executed_icount"]:
+            stage_mips = "  ".join(
+                "%s %.2f" % (stage, info["mips"])
+                for stage, info in summary["stages"].items()
+                if info["mips"])
+            print("interpreter MIPS: %.2f aggregate (%.1fM instrs / %.2fs)"
+                  "  by stage: %s"
+                  % (summary["mips"], summary["executed_icount"] / 1e6,
+                     summary["interp_wall_s"], stage_mips or "n/a"))
     return 0
 
 

@@ -58,6 +58,9 @@ def summarize_manifest(records: List[Record]) -> Dict[str, Any]:
         "cache_hits": 0, "cache_misses": 0,
         "retries": 0,
         "executed_wall_s": 0.0,
+        "executed_icount": 0,
+        "interp_wall_s": 0.0,
+        "mips": 0.0,
         "workers": set(),
         "stages": {},
     }
@@ -77,7 +80,8 @@ def summarize_manifest(records: List[Record]) -> Dict[str, Any]:
             summary["workers"].add(record["worker"])
         stage = record.get("stage") or "other"
         per_stage = summary["stages"].setdefault(
-            stage, {"jobs": 0, "hits": 0, "executed": 0, "wall_s": 0.0})
+            stage, {"jobs": 0, "hits": 0, "executed": 0, "wall_s": 0.0,
+                    "icount": 0, "mips": 0.0})
         per_stage["jobs"] += 1
         if cache == "hit":
             per_stage["hits"] += 1
@@ -85,10 +89,25 @@ def summarize_manifest(records: List[Record]) -> Dict[str, Any]:
             per_stage["executed"] += 1
         if cache != "hit" and record.get("wall_s"):
             per_stage["wall_s"] += record["wall_s"]
+            # Interpreter MIPS: only jobs that report an executed icount
+            # contribute, and their wall time is pooled separately so
+            # non-interpreting stages don't dilute the rate.
+            icount = record.get("icount")
+            if icount:
+                per_stage["icount"] += icount
+                summary["executed_icount"] += icount
+                summary["interp_wall_s"] += record["wall_s"]
     summary["workers"] = sorted(summary["workers"])
     summary["executed_wall_s"] = round(summary["executed_wall_s"], 4)
+    summary["interp_wall_s"] = round(summary["interp_wall_s"], 4)
+    if summary["interp_wall_s"]:
+        summary["mips"] = round(
+            summary["executed_icount"] / summary["interp_wall_s"] / 1e6, 3)
     for per_stage in summary["stages"].values():
         per_stage["wall_s"] = round(per_stage["wall_s"], 4)
+        if per_stage["icount"] and per_stage["wall_s"]:
+            per_stage["mips"] = round(
+                per_stage["icount"] / per_stage["wall_s"] / 1e6, 3)
     return summary
 
 

@@ -52,6 +52,34 @@ def _call_job(fn, args, kwargs):
     return os.getpid(), time.perf_counter() - start, result
 
 
+def _job_icount(result: Any) -> Optional[int]:
+    """Interpreter instructions executed to produce *result* (duck-typed).
+
+    Recognizes the pipeline's artifact shapes: a profile carries
+    ``total_icount``; a pinball's run ends at ``region.end`` global
+    instructions; a single-pass log group (dict of pinballs) ran to the
+    latest window end.  Returns ``None`` for results that required no
+    interpretation (clustering, conversion, assembly).
+    """
+    if result is None:
+        return None
+    total = getattr(result, "total_icount", None)
+    if isinstance(total, int) and total > 0:
+        return total
+    region = getattr(result, "region", None)
+    if region is not None:
+        end = getattr(region, "end", None)
+        if isinstance(end, int) and end > 0:
+            return end
+    if isinstance(result, dict):
+        icounts = [count for count in
+                   (_job_icount(value) for value in result.values())
+                   if count]
+        if icounts:
+            return max(icounts)
+    return None
+
+
 @dataclass
 class _Pending:
     """Book-keeping for one submitted-but-unfinished job."""
@@ -96,7 +124,7 @@ class FarmRunner:
 
     def _record(self, job: Job, state: str, cache: str, wall_s: float,
                 worker: Optional[int], attempts: int,
-                error: str = "") -> None:
+                error: str = "", icount: Optional[int] = None) -> None:
         self.report.states[job.name] = state
         self.report.cache[job.name] = cache
         if state != "ok":
@@ -113,6 +141,7 @@ class FarmRunner:
                 "worker": worker,
                 "attempts": attempts,
                 "error": error,
+                "icount": icount,
             })
         obs = hooks.OBS
         if obs.enabled:
@@ -308,7 +337,7 @@ class FarmRunner:
         results[job.name] = result
         done[job.name] = "ok"
         self._record(job, "ok", "miss" if job.key else "none", wall,
-                     worker, attempts)
+                     worker, attempts, icount=_job_icount(result))
         self._finish(job, result, graph, results)
 
     def _finish(self, job: Job, result, graph, results) -> None:

@@ -20,7 +20,7 @@ from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Tuple
 
 from repro.isa.encoding import decode, InstructionDecodeError
 from repro.isa.instructions import Instruction, Op
-from repro.machine.memory import AddressSpace, PageFault
+from repro.machine.memory import AddressSpace, PAGE_SHIFT, PageFault
 from repro.observe import hooks
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -89,6 +89,31 @@ HW_L1_PENALTY = 10
 HW_LLC_SETS = 4096
 HW_LLC_PENALTY = 40
 
+#: Safety cap on superblock length (straight-line runs longer than this
+#: are split; keeps quantum spills and invalidation granularity sane).
+BLOCK_LIMIT = 512
+
+
+class Block:
+    """A decoded superblock: one straight-line run of instructions.
+
+    ``steps`` is the pre-bound trace executed by the fast dispatch loop:
+    one ``(next_pc, handler, operands, cost)`` tuple per instruction,
+    with the successor PC precomputed and the handler/cost resolved so
+    the hot loop does no dict lookup, enum conversion, or property
+    access.  A branch (taken or not) can only ever be the final step.
+    """
+
+    __slots__ = ("entry", "steps", "n", "ends_branch", "pages")
+
+    def __init__(self, entry: int, steps: List[tuple], ends_branch: bool,
+                 pages: Tuple[int, ...]) -> None:
+        self.entry = entry
+        self.steps = steps
+        self.n = len(steps)
+        self.ends_branch = ends_branch
+        self.pages = pages
+
 
 class Cpu:
     """Executes PX instructions for the threads of one machine."""
@@ -97,6 +122,24 @@ class Cpu:
         self.machine = machine
         self.mem: AddressSpace = machine.mem
         self.decode_cache: Dict[int, Tuple[Instruction, int]] = {}
+        #: Superblock translation cache, keyed by entry PC.
+        self.block_cache: Dict[int, Block] = {}
+        # Page-granular invalidation indices: code page -> cached PCs /
+        # block entry PCs whose bytes live (at least partly) on that page.
+        self._decode_index: Dict[int, set] = {}
+        self._block_index: Dict[int, set] = {}
+        #: True when no instruction tools are attached (Machine keeps
+        #: this in sync); selects the superblock fast path.
+        self.fast_dispatch = True
+        # Set by _invalidate_code_page while the fast loop is inside a
+        # block whose backing bytes just changed (self-modifying code).
+        self._smc_dirty = False
+        self.block_hits = 0
+        self.block_misses = 0
+        self.block_invalidations = 0
+        self._reported_hits = 0
+        self._reported_misses = 0
+        self._reported_invalidations = 0
         self.hw_l1: List[int] = [-1] * HW_L1_SETS
         self.hw_llc: List[int] = [-1] * HW_LLC_SETS
         #: Set by Machine.request_stop to break out of the slice loop.
@@ -105,10 +148,119 @@ class Cpu:
         self.read_hook: Optional[Callable[["Thread", int, int], None]] = None
         self.write_hook: Optional[Callable[["Thread", int, int], None]] = None
         self._handlers = _build_handlers()
+        self.mem.exec_invalidate_hook = self._invalidate_code_page
 
     def invalidate_decode_cache(self) -> None:
-        """Drop cached decodes (after unmap/mprotect of code pages)."""
+        """Drop every cached decode and superblock (full clear)."""
+        if self.block_cache:
+            self.block_invalidations += len(self.block_cache)
         self.decode_cache.clear()
+        self.block_cache.clear()
+        self._decode_index.clear()
+        self._block_index.clear()
+        self._smc_dirty = True
+
+    def _invalidate_code_page(self, page: int) -> None:
+        """Drop cached decodes and superblocks touching one code page.
+
+        Called by the address space when an executable page is written,
+        remapped, unmapped, or re-protected.  Sets ``_smc_dirty`` so a
+        fast-path block that is currently executing stops at the next
+        step boundary and re-dispatches against fresh bytes.
+        """
+        pcs = self._decode_index.pop(page, None)
+        if pcs:
+            dcache = self.decode_cache
+            for pc in pcs:
+                dcache.pop(pc, None)
+        entries = self._block_index.pop(page, None)
+        if entries:
+            bcache = self.block_cache
+            block_index = self._block_index
+            for entry in entries:
+                block = bcache.pop(entry, None)
+                if block is not None:
+                    for other in block.pages:
+                        if other != page:
+                            refs = block_index.get(other)
+                            if refs is not None:
+                                refs.discard(entry)
+            self.block_invalidations += len(entries)
+        self._smc_dirty = True
+
+    def _decode_at(self, pc: int) -> Tuple[Instruction, int]:
+        """Decode (and cache + page-index) the instruction at *pc*."""
+        raw = self.mem.fetch(pc)
+        try:
+            insn, size = decode(raw)
+        except InstructionDecodeError as exc:
+            if exc.truncated:
+                raise PageFault(pc, 4, mapped=False) from exc
+            raise InvalidOpcode(
+                "invalid instruction at 0x%x: %s" % (pc, exc)
+            ) from exc
+        self.decode_cache[pc] = (insn, size)
+        page = pc >> PAGE_SHIFT
+        self._decode_index.setdefault(page, set()).add(pc)
+        last_page = (pc + size - 1) >> PAGE_SHIFT
+        if last_page != page:
+            self._decode_index.setdefault(last_page, set()).add(pc)
+        return insn, size
+
+    def _build_block(self, entry_pc: int) -> Optional[Block]:
+        """Decode the straight-line run starting at *entry_pc*.
+
+        The block ends at (and includes) the first branch, or at a
+        SYSCALL (the kernel may remap code, block the thread, or arm the
+        PMU), or before an undecodable/unfetchable instruction (the
+        fault must fire only if execution actually reaches it, matching
+        lazy per-instruction decode), or when the next PC leaves the
+        entry page, or at ``BLOCK_LIMIT``.  Returns ``None`` when even
+        the first instruction fails to decode.
+        """
+        dcache = self.decode_cache
+        handlers = self._handlers
+        op_cost = OP_COST
+        entry_page = entry_pc >> PAGE_SHIFT
+        pages = {entry_page}
+        steps: List[tuple] = []
+        ends_branch = False
+        syscall_op = int(Op.SYSCALL)
+        pc = entry_pc
+        while True:
+            entry = dcache.get(pc)
+            if entry is None:
+                try:
+                    entry = self._decode_at(pc)
+                except (PageFault, CpuFault):
+                    break
+            insn, size = entry
+            next_pc = (pc + size) & MASK64
+            pages.add((pc + size - 1) >> PAGE_SHIFT)
+            opint = int(insn.op)
+            steps.append((next_pc, handlers[opint], insn.operands,
+                          op_cost[opint]))
+            if insn.is_branch:
+                ends_branch = True
+                break
+            if opint == syscall_op:
+                break
+            pc = next_pc
+            if (pc >> PAGE_SHIFT) != entry_page:
+                break
+            if len(steps) >= BLOCK_LIMIT:
+                break
+        if not steps:
+            return None
+        block = Block(entry_pc, steps, ends_branch, tuple(pages))
+        self.block_cache[entry_pc] = block
+        block_index = self._block_index
+        for page in block.pages:
+            block_index.setdefault(page, set()).add(entry_pc)
+        obs = hooks.OBS
+        if obs.enabled:
+            obs.observe("cpu.block_cache.block_length", block.n)
+        return block
 
     # -- memory helpers used by handlers ----------------------------------
 
@@ -157,10 +309,110 @@ class Cpu:
 
         Returns the number of instructions executed.  CPU faults and page
         faults propagate to the caller (the machine delivers them as
-        fatal signals).
+        fatal signals).  Dispatches to the superblock fast path unless an
+        instruction tool is attached (exact per-instruction semantics).
+        """
+        if self.fast_dispatch:
+            executed = self._run_fast(thread, quantum)
+        else:
+            executed = self._run_slow(thread, quantum)
+        # Telemetry fires once per quantum, not per instruction, so the
+        # disabled path costs one attribute lookup per scheduler slice.
+        obs = hooks.OBS
+        if obs.enabled:
+            if executed:
+                obs.count("cpu.instructions", executed)
+            self._flush_block_stats(obs)
+        return executed
+
+    def _run_fast(self, thread: "Thread", quantum: int) -> int:
+        """Superblock dispatch: execute cached blocks with all
+        per-instruction bookkeeping amortised to block granularity.
+
+        Architecturally bit-identical to :meth:`_run_slow`: per-step
+        icount/cycles updates keep RDTSC and mid-block faults exact, the
+        PMU guard routes the final approach to an armed trap through the
+        slow path so the redirect fires at the exact icount, and quantum
+        expiry spills mid-block by slicing the pre-bound trace.
         """
         machine = self.machine
-        mem = self.mem
+        regs = thread.regs
+        bcache = self.block_cache
+        block_tools = machine.block_tools
+        executed = 0
+
+        while executed < quantum:
+            if self.stop_flag is not None or not thread.alive:
+                break
+            pc = regs.rip
+            block = bcache.get(pc)
+            if block is None:
+                self.block_misses += 1
+                block = self._build_block(pc)
+                if block is None:
+                    # Undecodable entry: the slow path raises the fault.
+                    executed += self._run_slow(thread, 1)
+                    continue
+            else:
+                self.block_hits += 1
+
+            if block_tools and thread.new_block:
+                thread.new_block = False
+                for tool in block_tools:
+                    tool.on_basic_block(machine, thread, pc)
+                if self.stop_flag is not None:
+                    # A tool requested a stop: one more instruction
+                    # retires before the stop lands, as on the slow path.
+                    executed += self._run_slow(thread, 1)
+                    break
+
+            n = block.n
+            trap_at = thread.pmu_trap_at
+            if thread.icount + n >= trap_at:
+                # Within trap range: step exactly up to the trap.
+                executed += self._run_slow(
+                    thread, min(trap_at - thread.icount, quantum - executed))
+                continue
+            remaining = quantum - executed
+            steps = block.steps
+            full = True
+            if n > remaining:
+                # Quantum expires mid-block: a branch can only be the
+                # final step, so any prefix is a valid straight-line run.
+                steps = steps[:remaining]
+                n = remaining
+                full = False
+
+            before = thread.icount
+            self._smc_dirty = False
+            for next_pc, handler, operands, cost in steps:
+                regs.rip = next_pc
+                handler(self, thread, operands)
+                thread.cycles += cost
+                thread.icount += 1
+                if self._smc_dirty:
+                    break
+            ran = thread.icount - before
+            executed += ran
+            if full and ran == n and block.ends_branch:
+                thread.new_block = True
+                thread.branches += 1
+            if thread.icount >= thread.pmu_trap_at:
+                # Only reachable when the trap was armed mid-block (a
+                # SYSCALL, necessarily the final step) with a threshold
+                # of zero; fires at the same retire boundary as the
+                # per-instruction loop.
+                self._pmu_redirect(thread)
+            if self._smc_dirty:
+                # The block we were executing was invalidated under our
+                # feet (self-modifying code); re-dispatch at the current
+                # rip against freshly decoded bytes.
+                self._smc_dirty = False
+        return executed
+
+    def _run_slow(self, thread: "Thread", quantum: int) -> int:
+        """Exact per-instruction interpretation (tools, PMU, faults)."""
+        machine = self.machine
         regs = thread.regs
         dcache = self.decode_cache
         handlers = self._handlers
@@ -170,21 +422,10 @@ class Cpu:
         executed = 0
 
         while executed < quantum:
-            if self.stop_flag is not None:
-                break
             pc = regs.rip
             entry = dcache.get(pc)
             if entry is None:
-                raw = mem.fetch(pc)
-                try:
-                    insn, size = decode(raw)
-                except InstructionDecodeError as exc:
-                    if exc.truncated:
-                        raise PageFault(pc, 4, mapped=False) from exc
-                    raise InvalidOpcode(
-                        "invalid instruction at 0x%x: %s" % (pc, exc)
-                    ) from exc
-                dcache[pc] = (insn, size)
+                insn, size = self._decode_at(pc)
             else:
                 insn, size = entry
 
@@ -209,12 +450,24 @@ class Cpu:
                 self._pmu_redirect(thread)
             if not thread.alive:
                 break
-        # Telemetry fires once per quantum, not per instruction, so the
-        # disabled path costs one attribute lookup per scheduler slice.
-        obs = hooks.OBS
-        if obs.enabled and executed:
-            obs.count("cpu.instructions", executed)
+            if self.stop_flag is not None:
+                break
         return executed
+
+    def _flush_block_stats(self, obs) -> None:
+        """Emit block-cache counter deltas accrued since the last flush."""
+        delta = self.block_hits - self._reported_hits
+        if delta:
+            obs.count("cpu.block_cache.hits", delta)
+            self._reported_hits = self.block_hits
+        delta = self.block_misses - self._reported_misses
+        if delta:
+            obs.count("cpu.block_cache.misses", delta)
+            self._reported_misses = self.block_misses
+        delta = self.block_invalidations - self._reported_invalidations
+        if delta:
+            obs.count("cpu.block_cache.invalidations", delta)
+            self._reported_invalidations = self.block_invalidations
 
     def _pmu_redirect(self, thread: "Thread") -> None:
         """Deliver a PMU overflow: redirect to the registered handler.

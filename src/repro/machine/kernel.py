@@ -260,7 +260,6 @@ class Kernel:
                     return -exc.errno
                 if data:
                     self._write_user(base, data)
-        self.machine.cpu.invalidate_decode_cache()
         return base
 
     def _sys_mprotect(self, thread: "Thread") -> int:
@@ -269,7 +268,6 @@ class Kernel:
             self.machine.mem.protect(gpr[7], gpr[6], gpr[2])
         except Exception:
             return -ENOMEM
-        self.machine.cpu.invalidate_decode_cache()
         return 0
 
     def _sys_munmap(self, thread: "Thread") -> int:
@@ -277,7 +275,6 @@ class Kernel:
         if gpr[6] == 0:
             return -EINVAL
         self.machine.mem.unmap(gpr[7], gpr[6])
-        self.machine.cpu.invalidate_decode_cache()
         return 0
 
     def _sys_brk(self, thread: "Thread") -> int:

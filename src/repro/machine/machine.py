@@ -134,6 +134,9 @@ class Machine:
         self.instr_tools = [t for t in self.tools if t.wants_instructions]
         self.block_tools = [t for t in self.tools if t.wants_blocks]
         self._syscall_tools = list(self.tools)
+        # Instruction tools need exact per-instruction callbacks; block,
+        # memory, and syscall tools all fire on the superblock fast path.
+        self.cpu.fast_dispatch = not self.instr_tools
         mem_tools = [t for t in self.tools if t.wants_memory]
         if mem_tools:
             def read_hook(thread: Thread, addr: int, size: int) -> None:

@@ -8,7 +8,7 @@ challenge": an ELFie that diverges off its captured pages dies here.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Iterator, List, Optional, Tuple
+from typing import Callable, Dict, Iterator, List, Optional, Set, Tuple
 
 PAGE_SIZE = 4096
 PAGE_SHIFT = 12
@@ -60,12 +60,27 @@ class AddressSpace:
     ``touch_hook``, when set, is called as ``touch_hook(page_index,
     is_write)`` on the first-level access path; the PinPlay logger uses it
     to discover which pages a region touches.
+
+    ``exec_invalidate_hook``, when set, is called as ``hook(page_index)``
+    whenever an *executable* page's contents or mapping may have changed:
+    a data write landing on an executable page (self-modifying code), or
+    ``map``/``unmap``/``protect`` touching a page that was executable.
+    The CPU uses it to drop cached decodes and translated blocks at page
+    granularity instead of clearing everything.
     """
 
     def __init__(self) -> None:
         self._pages: Dict[int, bytearray] = {}
         self._perms: Dict[int, int] = {}
+        self._exec_pages: Set[int] = set()
         self.touch_hook: Optional[Callable[[int, bool], None]] = None
+        self.exec_invalidate_hook: Optional[Callable[[int], None]] = None
+
+    def _retire_exec_page(self, page: int) -> None:
+        """Notify the CPU that an executable page is being changed."""
+        hook = self.exec_invalidate_hook
+        if hook is not None:
+            hook(page)
 
     # -- mapping ----------------------------------------------------------
 
@@ -83,9 +98,16 @@ class AddressSpace:
         end = page_align_up(addr + length)
         if not fixed and self.any_mapped(start, end - start):
             raise MapError("mapping overlaps existing pages at 0x%x" % start)
+        exec_pages = self._exec_pages
         for page in range(start >> PAGE_SHIFT, end >> PAGE_SHIFT):
+            if page in exec_pages:
+                self._retire_exec_page(page)
             self._pages[page] = bytearray(PAGE_SIZE)
             self._perms[page] = prot
+            if prot & PROT_EXEC:
+                exec_pages.add(page)
+            else:
+                exec_pages.discard(page)
         if data is not None:
             if addr + len(data) > end:
                 raise MapError("data larger than mapping")
@@ -98,7 +120,11 @@ class AddressSpace:
             raise MapError("cannot unmap %d bytes" % length)
         start = page_align_down(addr) >> PAGE_SHIFT
         end = page_align_up(addr + length) >> PAGE_SHIFT
+        exec_pages = self._exec_pages
         for page in range(start, end):
+            if page in exec_pages:
+                self._retire_exec_page(page)
+                exec_pages.discard(page)
             self._pages.pop(page, None)
             self._perms.pop(page, None)
 
@@ -110,8 +136,15 @@ class AddressSpace:
         for page in range(start, end):
             if page not in self._perms:
                 raise MapError("mprotect on unmapped page 0x%x" % (page << PAGE_SHIFT))
+        exec_pages = self._exec_pages
         for page in range(start, end):
+            if page in exec_pages:
+                self._retire_exec_page(page)
             self._perms[page] = prot
+            if prot & PROT_EXEC:
+                exec_pages.add(page)
+            else:
+                exec_pages.discard(page)
 
     def is_mapped(self, addr: int) -> bool:
         return (addr >> PAGE_SHIFT) in self._pages
@@ -172,6 +205,8 @@ class AddressSpace:
             if hook is not None:
                 hook(page, True)
             target[offset : offset + n] = data
+            if page in self._exec_pages:
+                self._retire_exec_page(page)
             return
         pos = 0
         current = addr
@@ -183,6 +218,8 @@ class AddressSpace:
             if hook is not None:
                 hook(page, True)
             target[offset : offset + chunk] = data[pos : pos + chunk]
+            if page in self._exec_pages:
+                self._retire_exec_page(page)
             current += chunk
             pos += chunk
 

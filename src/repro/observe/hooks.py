@@ -18,7 +18,10 @@ holds this to <3% of interpreter throughput on the Table I workloads.
 
 Hot loops must keep the ``if obs.enabled:`` guard and fire at batch
 granularity (the interpreter counts instructions once per scheduler
-quantum, not per instruction).  Cold paths may call the no-op methods
+quantum, not per instruction; its superblock translation cache flushes
+``cpu.block_cache.{hits,misses,invalidations}`` counter deltas once per
+quantum and records a ``cpu.block_cache.block_length`` histogram sample
+per block build).  Cold paths may call the no-op methods
 unconditionally — on the null observer they do nothing and return a
 shared no-op context manager.
 """

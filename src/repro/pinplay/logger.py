@@ -123,13 +123,14 @@ def log_regions(image: bytes, regions: Sequence[RegionSpec],
     machine = Machine(seed=seed, fs=fs)
     load_elf(machine, image, argv=argv)
     recorder = _RecordingTool(lazy=False)
-    machine.attach(recorder)
     out: Dict[str, Pinball] = {}
 
     obs = hooks.OBS
     for region in ordered:
         window_start = region.warmup_start
         window_length = region.end - window_start
+        # Fast-forward with no tool attached: the gap between capture
+        # windows runs on the interpreter's uninstrumented fast path.
         if machine.executed_total < window_start:
             with obs.span("logger.fast_forward", "pinplay",
                           region=region.name):
@@ -152,12 +153,14 @@ def log_regions(image: bytes, regions: Sequence[RegionSpec],
         brk_end = machine.kernel.brk_end
         next_tid = machine._next_tid
         recorder.syscalls = []
+        machine.attach(recorder)
         machine.scheduler.record = True
         machine.scheduler.trace = []
         with obs.span("logger.record", "pinplay", region=region.name):
             status = machine.run(
                 max_instructions=window_start + window_length)
         machine.scheduler.record = False
+        machine.detach(recorder)
         for record in threads:
             thread = machine.threads[record.tid]
             record.region_icount = thread.icount - start_icounts[record.tid]
@@ -182,7 +185,6 @@ def log_regions(image: bytes, regions: Sequence[RegionSpec],
         )
         if status.kind != "stopped":
             break
-    machine.detach(recorder)
     return out
 
 

@@ -26,27 +26,41 @@ from repro.machine.vfs import FileSystem
 class _BlockCounter(Tool):
     """Counts basic-block entries, weighted by block instruction length.
 
-    Block length is approximated by counting the instructions retired
-    between block entries, which for a stable loop equals the static
-    block length (the standard BBV weighting).
+    Block length is measured as the retired-instruction delta between
+    consecutive block entries of the same thread, which for a stable
+    loop equals the static block length (the standard BBV weighting).
+    A block-only tool: it needs no per-instruction callback, so BBV
+    profiling runs on the interpreter's superblock fast path.
     """
 
-    wants_instructions = True
+    wants_instructions = False
     wants_blocks = True
 
     def __init__(self) -> None:
         self.current: Dict[int, int] = {}
-        self._open_block: Dict[int, int] = {}  # tid -> block pc
+        self._open_block: Dict[int, int] = {}   # tid -> block pc
+        self._open_icount: Dict[int, int] = {}  # tid -> icount at entry
 
     def on_basic_block(self, machine, thread, pc) -> None:
-        self._open_block[thread.tid] = pc
+        tid = thread.tid
+        previous = self._open_block.get(tid)
+        if previous is not None:
+            retired = thread.icount - self._open_icount[tid]
+            if retired:
+                self.current[previous] = (
+                    self.current.get(previous, 0) + retired)
+        self._open_block[tid] = pc
+        self._open_icount[tid] = thread.icount
 
-    def on_instruction(self, machine, thread, pc, insn) -> None:
-        block = self._open_block.get(thread.tid)
-        if block is not None:
-            self.current[block] = self.current.get(block, 0) + 1
-
-    def take(self) -> Dict[int, int]:
+    def take(self, machine) -> Dict[int, int]:
+        # Attribute the instructions retired in each still-open block to
+        # this slice, then roll the open blocks into the next one.
+        for tid, pc in self._open_block.items():
+            thread = machine.threads[tid]
+            retired = thread.icount - self._open_icount[tid]
+            if retired:
+                self.current[pc] = self.current.get(pc, 0) + retired
+                self._open_icount[tid] = thread.icount
         vector = self.current
         self.current = {}
         return vector
@@ -118,7 +132,7 @@ def collect_bbv(image: bytes, slice_size: int, seed: int = 0,
         cycles_now = machine.total_cycles()
         executed = icount_now - index * slice_size
         if executed > 0:
-            vectors.append(counter.take())
+            vectors.append(counter.take(machine))
             slice_cycles.append(cycles_now - cycles_before)
             slice_icounts.append(executed)
         cycles_before = cycles_now

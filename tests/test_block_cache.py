@@ -1,0 +1,525 @@
+"""Superblock translation cache: equivalence, invalidation, SMC, PMU.
+
+The fast dispatch path must be architecturally bit-identical to the
+per-instruction slow path (which is the reference interpreter), and the
+page-granular invalidation protocol must keep cached decodes coherent
+with guest-visible memory across self-modifying stores and address-range
+reuse through mmap/munmap/mprotect.
+"""
+
+from repro.isa.instructions import Op, instruction_size
+from repro.machine import Machine, load_elf
+from repro.machine.memory import PROT_READ
+from repro.machine.tool import Tool
+from repro.observe import hooks
+from repro.simpoint.bbv import _BlockCounter
+from repro.workloads import build_executable, run_program
+
+
+RACY_SOURCE = """
+    _start:
+        mov rax, 56
+        mov rdi, 0x100
+        mov rsi, stack_top
+        mov rdx, child
+        syscall
+        mov rcx, 300
+    bump:
+        ld rbx, [counter]
+        add rbx, 1
+        st [counter], rbx
+        sub rcx, 1
+        cmp rcx, 0
+        jnz bump
+    wait:
+        ld rbx, [done_flag]
+        cmp rbx, 1
+        jnz wait
+        ld rdi, [counter]
+        and rdi, 0xff
+        mov rax, 231
+        syscall
+    child:
+        mov rcx, 300
+    bump2:
+        ld rbx, [counter]
+        add rbx, 1
+        st [counter], rbx
+        sub rcx, 1
+        cmp rcx, 0
+        jnz bump2
+        mov rbx, 1
+        st [done_flag], rbx
+        mov rax, 60
+        mov rdi, 0
+        syscall
+"""
+
+RACY_DATA = """
+    counter:
+        .quad 0
+    done_flag:
+        .quad 0
+    stack:
+        .zero 2048
+    stack_top:
+        .quad 0
+"""
+
+
+def _run(image, seed=0, fast=True, max_instructions=None):
+    machine = Machine(seed=seed)
+    load_elf(machine, image)
+    machine.cpu.fast_dispatch = fast
+    status = machine.run(max_instructions=max_instructions)
+    return machine, status
+
+
+def _arch_state(machine, status):
+    return (
+        status.kind, status.code, status.signal,
+        machine.stdout(),
+        tuple(sorted(
+            (t.tid, t.icount, t.cycles, t.branches, t.llc_misses)
+            for t in machine.threads.values())),
+    )
+
+
+# -- fast path == slow path ---------------------------------------------------
+
+
+def test_fast_and_slow_paths_are_bit_identical_multithreaded():
+    image = build_executable(RACY_SOURCE, data_source=RACY_DATA)
+    for seed in range(6):
+        fast = _arch_state(*_run(image, seed=seed, fast=True))
+        slow = _arch_state(*_run(image, seed=seed, fast=False))
+        assert fast == slow
+
+
+def test_fast_and_slow_paths_agree_on_stdout_and_files():
+    image = build_executable(
+        """
+        _start:
+            mov rcx, 5
+        again:
+            mov rax, 1
+            mov rdi, 1
+            mov rsi, msg
+            mov rdx, 6
+            syscall
+            sub rcx, 1
+            cmp rcx, 0
+            jnz again
+            mov rax, 231
+            mov rdi, 0
+            syscall
+        msg:
+            .ascii "hello\\n"
+        """
+    )
+    fast = _arch_state(*_run(image, fast=True))
+    slow = _arch_state(*_run(image, fast=False))
+    assert fast == slow
+    assert fast[3] == b"hello\n" * 5
+
+
+def test_bbv_vectors_identical_on_both_paths():
+    image = build_executable(RACY_SOURCE, data_source=RACY_DATA)
+
+    def profile(force_slow):
+        machine = Machine(seed=3)
+        load_elf(machine, image)
+        counter = _BlockCounter()
+        machine.attach(counter)
+        if force_slow:
+            machine.cpu.fast_dispatch = False
+        vectors = []
+        index = 0
+        while True:
+            status = machine.run(max_instructions=(index + 1) * 500)
+            vectors.append(counter.take(machine))
+            index += 1
+            if status.kind != "stopped":
+                break
+        return vectors
+
+    assert profile(False) == profile(True)
+
+
+def test_block_counter_matches_per_instruction_reference():
+    """The block-only delta counter must reproduce the vectors of the
+    classic per-instruction counter (instructions attributed to the most
+    recently entered block of the same thread)."""
+
+    class _Reference(Tool):
+        wants_instructions = True
+        wants_blocks = True
+
+        def __init__(self):
+            self.current = {}
+            self._open = {}
+
+        def on_basic_block(self, machine, thread, pc):
+            self._open[thread.tid] = pc
+
+        def on_instruction(self, machine, thread, pc, insn):
+            block = self._open.get(thread.tid)
+            if block is not None:
+                self.current[block] = self.current.get(block, 0) + 1
+
+        def take(self):
+            vector = self.current
+            self.current = {}
+            return vector
+
+    image = build_executable(RACY_SOURCE, data_source=RACY_DATA)
+
+    def drive(counter, take):
+        machine = Machine(seed=1)
+        load_elf(machine, image)
+        machine.attach(counter)
+        vectors = []
+        index = 0
+        while True:
+            status = machine.run(max_instructions=(index + 1) * 400)
+            vectors.append(take(machine))
+            index += 1
+            if status.kind != "stopped":
+                break
+        return vectors
+
+    reference = _Reference()
+    expected = drive(reference, lambda machine: reference.take())
+    counter = _BlockCounter()
+    got = drive(counter, counter.take)
+    assert got == expected
+
+
+# -- PMU exactness ------------------------------------------------------------
+
+
+def test_pmu_trap_mid_block_fires_at_exact_icount():
+    """A trap armed to land mid-way through a long straight-line block
+    must redirect at the exact icount (paper: region boundaries are
+    icount-addressed; an off-by-one shifts every Fig 9 region)."""
+    threshold = 37
+    image = build_executable(
+        """
+        _start:
+            mov rax, 298
+            mov rdi, 0
+            mov rsi, %d
+            mov rdx, handler
+            syscall
+        spin:
+            %s
+            jmp spin
+        handler:
+            mov rax, 334        ; perf_read(INSTRUCTIONS)
+            mov rdi, 0
+            syscall
+            mov rdi, rax
+            and rdi, 0xff
+            mov rax, 231
+            syscall
+        """ % (threshold, "\n            ".join(["add rbx, 1"] * 16))
+    )
+    # perf_event_open handles with icount=4, arming trap_at = 5 + threshold;
+    # the handler's perf_read executes 2 instructions after redirect.
+    expected_read = 5 + threshold + 2
+    for fast in (True, False):
+        machine, status = _run(image, fast=fast)
+        assert status.kind == "exit"
+        assert status.code == expected_read & 0xFF
+        assert machine.threads[0].icount == expected_read + 5
+
+
+def test_pmu_counting_trap_identical_on_both_paths():
+    image = build_executable(
+        """
+        _start:
+            mov rax, 298        ; perf_event_open(INSTR, 50, no handler)
+            mov rdi, 0
+            mov rsi, 50
+            mov rdx, 0
+            syscall
+        forever:
+            jmp forever
+        """
+    )
+    fast = _arch_state(*_run(image, fast=True))
+    slow = _arch_state(*_run(image, fast=False))
+    assert fast == slow
+
+
+# -- self-modifying code ------------------------------------------------------
+
+
+def test_host_write_to_code_page_invalidates_cached_decode():
+    """Patching an instruction in place through AddressSpace.write must
+    be visible to the next fetch (the latent SMC staleness bug)."""
+    image = build_executable(
+        """
+        _start:
+        patch_me:
+            mov rbx, 5
+            cmp rbx, 9
+            jnz patch_me
+            mov rax, 231
+            mov rdi, rbx
+            syscall
+        """
+    )
+    machine = Machine(seed=0)
+    loaded = load_elf(machine, image)
+    status = machine.run(max_instructions=1000)
+    assert status.kind == "stopped"  # spinning on the unpatched immediate
+    invalidations_before = machine.cpu.block_invalidations
+    # Patch the MOV_RI immediate (low byte at opcode+reg offset) in the
+    # read-only executable .text, as a debugger would.
+    machine.mem.write(loaded.symbols["patch_me"] + 2, b"\x09",
+                      access=PROT_READ)
+    assert machine.cpu.block_invalidations > invalidations_before
+    status = machine.run(max_instructions=200_000)
+    assert status.kind == "exit"
+    assert status.code == 9
+
+
+def test_guest_store_patches_code_in_its_own_block():
+    """A store that rewrites an instruction *ahead of itself* in the same
+    straight-line run must take effect before that instruction executes,
+    on both dispatch paths, and on repeated executions."""
+    patch_offset = instruction_size(Op.ST1) + 2  # imm low byte of the MOV
+    image = build_executable(
+        """
+        _start:
+            mov rax, 9          ; mmap(0, 4096, RWX, ANON, -1, 0)
+            mov rdi, 0
+            mov rsi, 4096
+            mov rdx, 7
+            mov r10, 0x22
+            mov r8, -1
+            mov r9, 0
+            syscall
+            mov r12, rax
+            mov rsi, func
+            mov rdi, r12
+            mov rcx, func_end
+            sub rcx, rsi
+        copy:
+            ld1 rbx, [rsi]
+            st1 [rdi], rbx
+            add rsi, 1
+            add rdi, 1
+            sub rcx, 1
+            cmp rcx, 0
+            jnz copy
+            mov r14, r12
+            add r14, %d
+            mov r15, 33
+            call r12            ; patches itself, returns rbx = 33
+            mov r13, rbx
+            mov r15, 44
+            call r12            ; stale decode would return 33 again
+            cmp rbx, r13
+            jz stale
+            mov rdi, rbx
+            mov rax, 231
+            syscall
+        stale:
+            mov rax, 231
+            mov rdi, 255
+            syscall
+        func:
+            st1 [r14], r15
+            mov rbx, 11
+            ret
+        func_end:
+            nop
+        """ % patch_offset
+    )
+    for fast in (True, False):
+        _, status = _run(image, fast=fast)
+        assert status.kind == "exit"
+        assert status.code == 44
+
+
+def test_block_cache_invalidation_across_mmap_reuse():
+    """mmap -> execute -> munmap -> mmap the same range -> execute new
+    code; then mprotect + patch + mprotect back.  Stale blocks at the
+    reused entry PC would replay the old code."""
+    image = build_executable(
+        """
+        _start:
+            mov rax, 9          ; mmap(0x30000000, RWX, ANON|FIXED)
+            mov rdi, 0x30000000
+            mov rsi, 4096
+            mov rdx, 7
+            mov r10, 0x32
+            mov r8, -1
+            mov r9, 0
+            syscall
+            mov r12, rax
+            mov rsi, funca
+            mov rdi, r12
+            mov rcx, funca_end
+            sub rcx, rsi
+        copya:
+            ld1 rbx, [rsi]
+            st1 [rdi], rbx
+            add rsi, 1
+            add rdi, 1
+            sub rcx, 1
+            cmp rcx, 0
+            jnz copya
+            call r12            ; rbx = 1
+            mov r13, rbx
+            mov rax, 11         ; munmap(r12, 4096)
+            mov rdi, r12
+            mov rsi, 4096
+            syscall
+            mov rax, 9          ; mmap the same range again
+            mov rdi, 0x30000000
+            mov rsi, 4096
+            mov rdx, 7
+            mov r10, 0x32
+            mov r8, -1
+            mov r9, 0
+            syscall
+            mov rsi, funcb
+            mov rdi, r12
+            mov rcx, funcb_end
+            sub rcx, rsi
+        copyb:
+            ld1 rbx, [rsi]
+            st1 [rdi], rbx
+            add rsi, 1
+            add rdi, 1
+            sub rcx, 1
+            cmp rcx, 0
+            jnz copyb
+            call r12            ; rbx = 2
+            add r13, rbx
+            mov rax, 10         ; mprotect(r12, 4096, RW)
+            mov rdi, r12
+            mov rsi, 4096
+            mov rdx, 3
+            syscall
+            mov rbx, 4          ; patch funcb's immediate to 4
+            mov r14, r12
+            add r14, 2
+            st1 [r14], rbx
+            mov rax, 10         ; mprotect(r12, 4096, RWX)
+            mov rdi, r12
+            mov rsi, 4096
+            mov rdx, 7
+            syscall
+            call r12            ; rbx = 4
+            add r13, rbx
+            mov rax, 231
+            mov rdi, r13        ; 1 + 2 + 4
+            syscall
+        funca:
+            mov rbx, 1
+            ret
+        funca_end:
+        funcb:
+            mov rbx, 2
+            ret
+        funcb_end:
+            nop
+        """
+    )
+    for fast in (True, False):
+        machine, status = _run(image, fast=fast)
+        assert status.kind == "exit"
+        assert status.code == 7
+        if fast:
+            assert machine.cpu.block_invalidations > 0
+
+
+# -- dispatch-path flipping ---------------------------------------------------
+
+
+def test_attach_detach_flips_dispatch_path_mid_run():
+    class _Counter(Tool):
+        wants_instructions = True
+
+        def __init__(self):
+            self.count = 0
+
+        def on_instruction(self, machine, thread, pc, insn):
+            self.count += 1
+
+    image = build_executable(RACY_SOURCE, data_source=RACY_DATA)
+    machine = Machine(seed=2)
+    load_elf(machine, image)
+    assert machine.cpu.fast_dispatch is True
+    machine.run(max_instructions=500)
+    assert machine.executed_total == 500
+
+    tool = _Counter()
+    machine.attach(tool)
+    assert machine.cpu.fast_dispatch is False
+    machine.run(max_instructions=1100)
+    assert tool.count == 600  # every instruction of the slow window
+
+    machine.detach(tool)
+    assert machine.cpu.fast_dispatch is True
+    status = machine.run()
+    assert tool.count == 600  # fast path never calls on_instruction
+
+    # Budget stops clamp quanta, so the interleaving depends on the stop
+    # pattern; replaying the same stops on a single dispatch path must
+    # produce the same architectural state as the flipping run.
+    def replay(fast):
+        reference = Machine(seed=2)
+        load_elf(reference, image)
+        reference.cpu.fast_dispatch = fast
+        reference.run(max_instructions=500)
+        reference.run(max_instructions=1100)
+        return _arch_state(reference, reference.run())
+
+    assert _arch_state(machine, status) == replay(True) == replay(False)
+
+
+def test_schedule_trace_accounts_partial_quanta():
+    """Recorded slices must sum to the executed icount even when threads
+    exit or redirect mid-quantum (replay alignment depends on it)."""
+    image = build_executable(RACY_SOURCE, data_source=RACY_DATA)
+    for fast in (True, False):
+        machine = Machine(seed=4)
+        load_elf(machine, image)
+        machine.cpu.fast_dispatch = fast
+        machine.scheduler.record = True
+        status = machine.run()
+        assert status.kind == "exit"
+        assert sum(s.quantum for s in machine.scheduler.trace) \
+            == machine.executed_total
+        assert machine.executed_total == machine.total_icount()
+
+
+# -- telemetry ----------------------------------------------------------------
+
+
+def test_block_cache_metrics_are_emitted():
+    image = build_executable(RACY_SOURCE, data_source=RACY_DATA)
+    with hooks.observed() as obs:
+        machine, status = _run(image)
+    assert status.kind == "exit"
+    counters = obs.metrics.snapshot()["counters"]
+    assert counters["cpu.block_cache.hits"] == machine.cpu.block_hits
+    assert counters["cpu.block_cache.misses"] == machine.cpu.block_misses
+    assert machine.cpu.block_hits > machine.cpu.block_misses
+    histograms = obs.metrics.snapshot()["histograms"]
+    assert histograms["cpu.block_cache.block_length"]["count"] \
+        == machine.cpu.block_misses
+
+
+def test_fast_forward_runs_without_instruction_tools():
+    """Plain execution (the logger's fast-forward substrate) populates
+    and reuses the block cache."""
+    image = build_executable(RACY_SOURCE, data_source=RACY_DATA)
+    machine, _, _ = run_program(image)
+    assert machine.cpu.block_hits > 0
+    assert machine.cpu.fast_dispatch is True

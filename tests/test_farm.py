@@ -467,10 +467,13 @@ def test_cli_farm_run_stats_gc(tmp_path, capsys):
     cold = capsys.readouterr().out
     assert "505.mcf_r:" in cold and "coverage" in cold
     assert "cache hits: 0" in cold
+    # interpreting stages (profile/log/validate) report aggregate MIPS
+    assert "interpreter MIPS:" in cold
 
     assert main(argv) == 0  # warm: same campaign, all hits
     warm = capsys.readouterr().out
     assert "misses: 0" in warm
+    assert "interpreter MIPS:" not in warm  # nothing executed
 
     assert main(["farm", "stats", "--store", store_dir]) == 0
     stats = json.loads(capsys.readouterr().out)
@@ -479,3 +482,51 @@ def test_cli_farm_run_stats_gc(tmp_path, capsys):
 
     assert main(["farm", "gc", "--store", store_dir]) == 0
     assert "live" in capsys.readouterr().out
+
+
+# -- interpreter MIPS accounting --------------------------------------------
+
+
+def test_job_icount_recognizes_artifact_shapes():
+    from repro.farm.runner import _job_icount
+
+    class _Profile:
+        total_icount = 120_000
+
+    class _Region:
+        end = 45_000
+
+    class _Pinball:
+        region = _Region()
+
+    assert _job_icount(_Profile()) == 120_000
+    assert _job_icount(_Pinball()) == 45_000
+    # a single-pass log group ran the interpreter to the latest window end
+    assert _job_icount({"r0": _Pinball(), "r1": _Profile()}) == 120_000
+    assert _job_icount(None) is None
+    assert _job_icount(object()) is None
+    assert _job_icount({"k": object()}) is None
+
+
+def test_summarize_manifest_pools_interpreter_mips():
+    records = [
+        # two interpreting jobs: 2 M instrs over 1 s -> 2.0 MIPS
+        {"state": "ok", "cache": "miss", "stage": "profile",
+         "wall_s": 0.75, "icount": 1_500_000, "worker": 1, "attempts": 1},
+        {"state": "ok", "cache": "miss", "stage": "log",
+         "wall_s": 0.25, "icount": 500_000, "worker": 1, "attempts": 1},
+        # non-interpreting job: wall time must not dilute the MIPS pool
+        {"state": "ok", "cache": "miss", "stage": "cluster",
+         "wall_s": 5.0, "worker": 1, "attempts": 1},
+        # cache hit: contributes nothing to either pool
+        {"state": "ok", "cache": "hit", "stage": "profile",
+         "wall_s": 0.0, "icount": None, "worker": None, "attempts": 0},
+    ]
+    summary = summarize_manifest(records)
+    assert summary["executed_icount"] == 2_000_000
+    assert summary["interp_wall_s"] == 1.0
+    assert summary["mips"] == 2.0
+    assert summary["executed_wall_s"] == 6.0
+    assert summary["stages"]["profile"]["mips"] == 2.0
+    assert summary["stages"]["log"]["mips"] == 2.0
+    assert summary["stages"]["cluster"]["mips"] == 0.0
