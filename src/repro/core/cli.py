@@ -11,6 +11,12 @@ workflows read like the paper's:
     python -m repro.core.cli logger     --binary prog.elf --start N \\
         --length M [--warmup W] [--fat/--no-fat] --out DIR --name NAME
 
+The differential replay-fidelity verifier:
+
+    python -m repro.core.cli verify run  --pinball DIR/NAME --binary prog.elf
+    python -m repro.core.cli verify fuzz --time-budget 60
+    python -m repro.core.cli verify corpus --corpus tests/corpus
+
 The checkpoint farm (store-memoized, parallel PinPoints campaigns):
 
     python -m repro.core.cli farm run   --store .farm --app 502.gcc_r \\
@@ -107,9 +113,11 @@ def _cmd_replay(args: argparse.Namespace) -> int:
     if args.injection:
         print("injected syscalls: %d" % result.injected_syscalls)
         print("matches recording: %s" % result.matches_recording)
-        if result.diverged:
-            print("divergence: %s" % result.diverged)
-            return 1
+    # A structured divergence is a hard failure in either mode: scripts
+    # must be able to gate on the exit status, not parse stdout.
+    if result.diverged:
+        print("divergence: %s" % result.diverged)
+        return 1
     return 0 if result.status.kind in ("exit", "stopped") else 1
 
 
@@ -141,9 +149,71 @@ def _cmd_run(args: argparse.Namespace) -> int:
     return run.status.code if run.status.kind == "exit" else 128
 
 
+def _cmd_verify_run(args: argparse.Namespace) -> int:
+    from repro.verify import verify_pinball
+
+    pinball = _load_pinball(args.pinball)
+    with open(args.binary, "rb") as handle:
+        image = handle.read()
+    report = verify_pinball(image, pinball, seed=args.seed,
+                            epochs=args.epochs, bisect=not args.no_bisect)
+    print(report.summary())
+    if args.json:
+        with open(args.json, "w") as handle:
+            json.dump(report.to_json(), handle, indent=2)
+            handle.write("\n")
+    if report.divergence is not None and not args.no_bisect:
+        print(report.divergence.diff)
+    return 0 if report.ok else 1
+
+
+def _cmd_verify_fuzz(args: argparse.Namespace) -> int:
+    from repro.verify import fuzz, save_corpus_case
+    from repro.verify.corpus import default_corpus_dir
+
+    summary = fuzz(time_budget=args.time_budget, start_seed=args.start_seed,
+                   max_cases=args.max_cases, seed=args.seed,
+                   minimize=not args.no_minimize)
+    print("cases run: %d  invalid: %d  divergences: %d"
+          % (summary.cases_run, summary.invalid, len(summary.failures)))
+    for outcome in summary.failures:
+        print("FAIL stage=%s case=%s" % (outcome.stage, outcome.case.name))
+        print("  detail: %s" % outcome.detail)
+        print("  minimized seed: %s"
+              % json.dumps(outcome.case.to_json(), sort_keys=True))
+        if args.save_failures:
+            directory = args.corpus or default_corpus_dir()
+            path = save_corpus_case(directory, outcome.case,
+                                    name="fuzz-%s" % outcome.case.name,
+                                    bug="found by verify fuzz (stage %s)"
+                                        % outcome.stage)
+            print("  saved: %s" % path)
+    return 1 if summary.failures else 0
+
+
+def _cmd_verify_corpus(args: argparse.Namespace) -> int:
+    from repro.verify import failing, format_failure, replay_corpus
+    from repro.verify.corpus import default_corpus_dir
+
+    directory = args.corpus or default_corpus_dir()
+    results = replay_corpus(directory, seed=args.seed)
+    if not results:
+        print("no corpus cases under %s" % directory)
+        return 0
+    bad = failing(results)
+    print("corpus: %d cases, %d failing" % (len(results), len(bad)))
+    for entry, outcome in bad:
+        print(format_failure(entry, outcome))
+    return 1 if bad else 0
+
+
 def _cmd_farm_run(args: argparse.Namespace) -> int:
     from repro.farm import ArtifactStore, read_manifest, summarize_manifest
-    from repro.simpoint import elfie_validation, run_pinpoints_campaign
+    from repro.simpoint import (
+        elfie_validation,
+        fidelity_validation,
+        run_pinpoints_campaign,
+    )
     from repro.workloads import get_app
 
     store = ArtifactStore(args.store)
@@ -152,6 +222,10 @@ def _cmd_farm_run(args: argparse.Namespace) -> int:
         images[name] = get_app(name).build(args.input)
     validations = [elfie_validation("elfie", seed=args.validate_seed,
                                     trials=args.trials)]
+    if args.verify_fidelity:
+        validations.append(fidelity_validation(
+            "fidelity", seed=args.validate_seed,
+            max_regions=args.fidelity_regions))
     outcomes = run_pinpoints_campaign(
         images, store,
         jobs=args.jobs,
@@ -163,6 +237,7 @@ def _cmd_farm_run(args: argparse.Namespace) -> int:
         seed=args.seed,
         validations=validations,
     )
+    failed_fidelity = False
     for name, outcome in outcomes.items():
         validation = outcome.validations["elfie"]
         print("%s: %d regions, %d ELFies, |error| %.2f%%, coverage %.0f%%"
@@ -170,6 +245,19 @@ def _cmd_farm_run(args: argparse.Namespace) -> int:
                  len(outcome.result.elfies),
                  validation.abs_error_percent,
                  100 * validation.covered_weight))
+        fidelity = outcome.validations.get("fidelity")
+        if fidelity is not None:
+            print("%s: fidelity %s (%d regions verified%s)"
+                  % (name, "OK" if fidelity["ok"] else "FAIL",
+                     fidelity["checked"],
+                     ", %d skipped" % fidelity["skipped"]
+                     if fidelity["skipped"] else ""))
+            for region, report in sorted(fidelity["regions"].items()):
+                if not report["ok"] and report["divergence"]:
+                    print("  %s diverges at epoch %s, instruction %s"
+                          % (region, report["divergence"]["epoch"],
+                             report["divergence"]["icount"]))
+            failed_fidelity = failed_fidelity or not fidelity["ok"]
     if args.manifest:
         summary = summarize_manifest(read_manifest(args.manifest))
         print("jobs: %d  cache hits: %d  misses: %d  retries: %d  "
@@ -192,7 +280,7 @@ def _cmd_farm_run(args: argparse.Namespace) -> int:
                   "  by stage: %s"
                   % (summary["mips"], summary["executed_icount"] / 1e6,
                      summary["interp_wall_s"], stage_mips or "n/a"))
-    return 0
+    return 1 if failed_fidelity else 0
 
 
 def _cmd_farm_stats(args: argparse.Namespace) -> int:
@@ -277,6 +365,46 @@ def build_parser() -> argparse.ArgumentParser:
     runner.add_argument("--seed", type=int, default=0)
     runner.set_defaults(func=_cmd_run)
 
+    verify = sub.add_parser(
+        "verify", help="differential replay-fidelity verification")
+    verify_sub = verify.add_subparsers(dest="verify_command", required=True)
+
+    verify_run = verify_sub.add_parser(
+        "run", help="epoch-digest native vs replay; bisect divergence")
+    verify_run.add_argument("--pinball", required=True, help="DIR/NAME prefix")
+    verify_run.add_argument("--binary", required=True,
+                            help="the original PX ELF the pinball came from")
+    verify_run.add_argument("--seed", type=int, default=0)
+    verify_run.add_argument("--epochs", type=int, default=16)
+    verify_run.add_argument("--no-bisect", action="store_true",
+                            help="stop at the first bad epoch without "
+                                 "localizing the divergent instruction")
+    verify_run.add_argument("--json", metavar="FILE", default=None,
+                            help="write the fidelity report as JSON")
+    verify_run.set_defaults(func=_cmd_verify_run)
+
+    verify_fuzz = verify_sub.add_parser(
+        "fuzz", help="randomized record->replay->elfie round-trips")
+    verify_fuzz.add_argument("--time-budget", type=float, default=30.0,
+                             metavar="SECONDS")
+    verify_fuzz.add_argument("--start-seed", type=int, default=0)
+    verify_fuzz.add_argument("--max-cases", type=int, default=None)
+    verify_fuzz.add_argument("--seed", type=int, default=0,
+                             help="machine seed for the round-trips")
+    verify_fuzz.add_argument("--no-minimize", action="store_true")
+    verify_fuzz.add_argument("--save-failures", action="store_true",
+                             help="pin minimized failing seeds to the corpus")
+    verify_fuzz.add_argument("--corpus", default=None,
+                             help="corpus directory (default tests/corpus)")
+    verify_fuzz.set_defaults(func=_cmd_verify_fuzz)
+
+    verify_corpus = verify_sub.add_parser(
+        "corpus", help="deterministically replay the regression corpus")
+    verify_corpus.add_argument("--corpus", default=None,
+                               help="corpus directory (default tests/corpus)")
+    verify_corpus.add_argument("--seed", type=int, default=0)
+    verify_corpus.set_defaults(func=_cmd_verify_corpus)
+
     farm = sub.add_parser(
         "farm", help="checkpoint farm: cached, parallel PinPoints campaigns")
     farm_sub = farm.add_subparsers(dest="farm_command", required=True)
@@ -300,6 +428,12 @@ def build_parser() -> argparse.ArgumentParser:
     farm_run.add_argument("--trials", type=int, default=1)
     farm_run.add_argument("--manifest", default=None,
                           help="write a JSON-lines run manifest here")
+    farm_run.add_argument("--verify-fidelity", action="store_true",
+                          help="also run the differential replay-fidelity "
+                               "verifier over each captured region")
+    farm_run.add_argument("--fidelity-regions", type=int, default=None,
+                          metavar="N",
+                          help="verify at most N regions per app")
     farm_run.set_defaults(func=_cmd_farm_run)
 
     farm_stats = farm_sub.add_parser("stats",

@@ -195,6 +195,14 @@ __elfie_copy_{index}:
     mov rsi, {proxy.restore_fd}
     syscall
 """)
+                if proxy.start_offset:
+                    lines.append(f"""
+    mov rax, 8                  ; lseek(fd, recorded offset, SEEK_SET)
+    mov rdi, {proxy.restore_fd}
+    mov rsi, {proxy.start_offset}
+    mov rdx, 0
+    syscall
+""")
         # 3. process-level callback
         lines.append("    call elfie_on_start")
         # 4. thread creation

@@ -342,8 +342,15 @@ class Cpu:
         executed = 0
 
         while executed < quantum:
-            if self.stop_flag is not None or not thread.alive:
+            if (self.stop_flag is not None or not thread.alive
+                    or thread.blocked):
                 break
+            if thread.icount >= thread.icount_limit:
+                # Exactly at the limit: report it and re-check (the hook
+                # may clear the limit, block the thread, or stop the run;
+                # Machine.on_icount_limit stops by itself otherwise).
+                machine.on_icount_limit(thread)
+                continue
             pc = regs.rip
             block = bcache.get(pc)
             if block is None:
@@ -367,11 +374,14 @@ class Cpu:
                     break
 
             n = block.n
-            trap_at = thread.pmu_trap_at
-            if thread.icount + n >= trap_at:
-                # Within trap range: step exactly up to the trap.
+            limit = thread.pmu_trap_at
+            if thread.icount_limit < limit:
+                limit = thread.icount_limit
+            if thread.icount + n >= limit:
+                # Within trap/limit range: step exactly up to the
+                # boundary (both are > icount here, so room >= 1).
                 executed += self._run_slow(
-                    thread, min(trap_at - thread.icount, quantum - executed))
+                    thread, min(limit - thread.icount, quantum - executed))
                 continue
             remaining = quantum - executed
             steps = block.steps
@@ -422,6 +432,11 @@ class Cpu:
         executed = 0
 
         while executed < quantum:
+            if thread.icount >= thread.icount_limit:
+                machine.on_icount_limit(thread)
+                if (self.stop_flag is not None or not thread.runnable):
+                    break
+                continue
             pc = regs.rip
             entry = dcache.get(pc)
             if entry is None:
@@ -448,7 +463,7 @@ class Cpu:
                 thread.branches += 1
             if thread.icount >= thread.pmu_trap_at:
                 self._pmu_redirect(thread)
-            if not thread.alive:
+            if not thread.alive or thread.blocked:
                 break
             if self.stop_flag is not None:
                 break

@@ -48,6 +48,12 @@ class Thread:
     #: Absolute icount at which a PMU overflow trap fires (NO_TRAP = off).
     pmu_trap_at: int = NO_TRAP
     pmu_handler: Optional[int] = None
+    #: Absolute icount at which execution must stop *exactly* (NO_TRAP =
+    #: off).  Unlike the PMU trap this does not redirect control flow:
+    #: the CPU spills mid-block and calls ``Machine.on_icount_limit`` so
+    #: a tool (e.g. the replayer's region-budget accounting) can react at
+    #: the precise retire boundary.
+    icount_limit: int = NO_TRAP
     #: True when the next instruction begins a basic block.
     new_block: bool = True
 
@@ -194,6 +200,20 @@ class Machine:
         """Ask the run loop to stop as soon as possible (tool API)."""
         self.cpu.stop_flag = reason
 
+    def on_icount_limit(self, thread: Thread) -> None:
+        """A thread reached its ``icount_limit`` exactly.
+
+        Dispatches the tool hook; if no tool raises the limit, blocks
+        the thread, or requests a stop, the machine stops itself so the
+        CPU loop cannot livelock re-reporting the same boundary.
+        """
+        for tool in self.tools:
+            tool.on_region_limit(self, thread)
+        if (thread.runnable and thread.icount >= thread.icount_limit
+                and self.cpu.stop_flag is None):
+            self.request_stop(
+                "icount limit reached (tid %d)" % thread.tid)
+
     # -- syscall plumbing -----------------------------------------------------
 
     def do_syscall(self, thread: Thread) -> None:
@@ -257,12 +277,17 @@ class Machine:
                         "deadlock: all threads blocked on futexes",
                     )
                 break
-            slice_ = self.scheduler.pick(runnable)
-            quantum = slice_.quantum
             if max_instructions is not None:
+                # Check the budget before picking: a pick consumes a
+                # replay-log slice (or free-run RNG state), which a
+                # stepped run re-entering with an exhausted budget must
+                # not burn.
                 remaining = max_instructions - self.executed_total
                 if remaining <= 0:
                     return self._stopped("instruction budget exhausted")
+            slice_ = self.scheduler.pick(runnable)
+            quantum = slice_.quantum
+            if max_instructions is not None:
                 quantum = min(quantum, remaining)
             thread = self.threads[slice_.tid]
             try:

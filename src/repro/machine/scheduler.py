@@ -46,6 +46,7 @@ class Scheduler:
         self._next_index = 0
         self._replay_log: Optional[List[ScheduleSlice]] = None
         self._replay_pos = 0
+        self._replay_pending: Optional[ScheduleSlice] = None
         self.trace: List[ScheduleSlice] = []
         self.record = False
 
@@ -53,6 +54,7 @@ class Scheduler:
         """Switch to replay mode, consuming *log* slice by slice."""
         self._replay_log = list(log)
         self._replay_pos = 0
+        self._replay_pending = None
 
     @property
     def replaying(self) -> bool:
@@ -62,6 +64,7 @@ class Scheduler:
     def replay_exhausted(self) -> bool:
         """True when a replay log has been fully consumed."""
         return (self._replay_log is not None
+                and self._replay_pending is None
                 and self._replay_pos >= len(self._replay_log))
 
     def pick(self, runnable_tids: Iterable[int]) -> ScheduleSlice:
@@ -74,6 +77,19 @@ class Scheduler:
         if not tids:
             raise RuntimeError("no runnable threads (deadlock)")
         if self._replay_log is not None:
+            if self._replay_pending is not None:
+                # Remainder of a slice that was interrupted early (an
+                # epoch boundary clamped the quantum): finish it before
+                # consuming the next log entry so a stepped replay sees
+                # the same interleaving as an uninterrupted one.
+                entry = self._replay_pending
+                self._replay_pending = None
+                if entry.tid in tids:
+                    if self.record:
+                        self.trace.append(entry)
+                    return entry
+                # The thread blocked or exited at the interruption
+                # point; the recorded trim semantics drop the rest.
             if self._replay_pos >= len(self._replay_log):
                 # Log exhausted: fall through to free-run (used by
                 # injection-less replay past the recorded region).
@@ -113,3 +129,9 @@ class Scheduler:
         """
         if self.record and self.trace and self.trace[-1] is slice_:
             self.trace[-1] = ScheduleSlice(tid=slice_.tid, quantum=executed)
+        if self._replay_log is not None and executed < slice_.quantum:
+            # Replay mode: the machine interrupted a recorded slice (an
+            # instruction-budget clamp, e.g. an epoch boundary).  Park
+            # the unexecuted remainder so the next pick() resumes it.
+            self._replay_pending = ScheduleSlice(
+                tid=slice_.tid, quantum=slice_.quantum - executed)

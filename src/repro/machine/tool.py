@@ -74,3 +74,12 @@ class Tool:
     def on_syscall_after(self, machine: "Machine", thread: "Thread",
                          number: int, result: int) -> None:
         """Called after a (non-suppressed) syscall executes."""
+
+    def on_region_limit(self, machine: "Machine", thread: "Thread") -> None:
+        """A thread retired exactly ``thread.icount_limit`` instructions.
+
+        Fires at the precise retire boundary on both dispatch paths
+        (the fast path spills mid-block, mirroring PMU-trap slicing).
+        The hook may raise/clear the limit, block the thread, or request
+        a stop; doing none of those stops the machine.
+        """

@@ -241,9 +241,30 @@ class FileDescriptorTable:
         self._fds[new_fd] = open_file
         return new_fd
 
+    def restore(self, fd: int, path: str, flags: int, offset: int) -> None:
+        """Re-open *path* at a specific descriptor number and offset.
+
+        Used when reconstructing a pinball's region-start descriptor
+        state: files opened before the captured region began must be
+        open — at their recorded offsets — before the first replayed
+        syscall runs.
+        """
+        resolved = self.resolve(path)
+        if not self.fs.exists(resolved):
+            raise VfsError(ENOENT, "no such file: %s" % path)
+        inode = self.fs._inode(resolved)
+        self._fds[fd] = OpenFile(path=resolved, flags=flags, offset=offset,
+                                 inode=inode)
+
     def open_fds(self) -> List[int]:
         """Sorted list of open descriptor numbers."""
         return sorted(self._fds)
+
+    def is_console_fd(self, fd: int) -> bool:
+        return self._get(fd).is_console
+
+    def fd_flags(self, fd: int) -> int:
+        return self._get(fd).flags
 
     def fd_path(self, fd: int) -> str:
         """Path behind a descriptor (for sysstate extraction)."""

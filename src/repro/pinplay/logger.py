@@ -26,6 +26,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
+from repro.machine.cpu import NO_TRAP
 from repro.machine.kernel import NR
 from repro.machine.loader import load_elf
 from repro.machine.machine import Machine
@@ -33,7 +34,12 @@ from repro.machine.memory import PAGE_SHIFT
 from repro.machine.tool import Tool
 from repro.machine.vfs import FileSystem
 from repro.observe import hooks
-from repro.pinplay.pinball import Pinball, SyscallRecord, ThreadRecord
+from repro.pinplay.pinball import (
+    OpenFileRecord,
+    Pinball,
+    SyscallRecord,
+    ThreadRecord,
+)
 from repro.pinplay.regions import RegionSpec
 
 
@@ -66,8 +72,12 @@ class _RecordingTool(Tool):
         self._pending: Dict[int, Tuple[Tuple[int, ...], Optional[str]]] = {}
 
     def on_instruction(self, machine, thread, pc, insn) -> None:
-        # lazy mode: code pages are "touched" by fetching from them
+        # lazy mode: code pages are "touched" by fetching from them;
+        # an instruction straddling a page boundary touches both pages
         self.touched_pages.add(pc >> PAGE_SHIFT)
+        last = (pc + insn.size - 1) >> PAGE_SHIFT
+        if last != (pc >> PAGE_SHIFT):
+            self.touched_pages.add(last)
 
     def on_syscall_before(self, machine, thread, number):
         gpr = thread.regs.gpr
@@ -93,6 +103,38 @@ class _RecordingTool(Tool):
                 path=path,
             )
         )
+
+
+def _thread_snapshot(thread) -> ThreadRecord:
+    """Capture one thread's region-start state, PMU trap included."""
+    record = ThreadRecord(
+        tid=thread.tid, regs=thread.regs.copy(),
+        blocked=thread.blocked, futex_addr=thread.futex_addr,
+    )
+    if thread.pmu_trap_at != NO_TRAP:
+        # The trap point is an absolute icount; replay threads restart
+        # at zero, so store the remaining distance.
+        record.pmu_remaining = thread.pmu_trap_at - thread.icount
+        record.pmu_handler = thread.pmu_handler
+    return record
+
+
+def _capture_open_files(machine: Machine) -> List[OpenFileRecord]:
+    """Snapshot the non-console descriptor table at region start."""
+    fdt = machine.kernel.fdt
+    return [
+        OpenFileRecord(fd=fd, path=fdt.fd_path(fd), flags=fdt.fd_flags(fd),
+                       offset=fdt.fd_offset(fd))
+        for fd in fdt.open_fds()
+        if not fdt.is_console_fd(fd)
+    ]
+
+
+def _capture_futex_waiters(machine: Machine) -> Dict[int, List[int]]:
+    """Snapshot the futex wait-queue order at region start."""
+    return {addr: list(tids)
+            for addr, tids in machine.kernel._futex_waiters.items()
+            if tids}
 
 
 def log_regions(image: bytes, regions: Sequence[RegionSpec],
@@ -145,13 +187,12 @@ def log_regions(image: bytes, regions: Sequence[RegionSpec],
             if not thread.alive:
                 continue
             start_icounts[thread.tid] = thread.icount
-            threads.append(ThreadRecord(
-                tid=thread.tid, regs=thread.regs.copy(),
-                blocked=thread.blocked, futex_addr=thread.futex_addr,
-            ))
+            threads.append(_thread_snapshot(thread))
         brk_start = machine.kernel.brk_start
         brk_end = machine.kernel.brk_end
         next_tid = machine._next_tid
+        open_files = _capture_open_files(machine)
+        futex_waiters = _capture_futex_waiters(machine)
         recorder.syscalls = []
         machine.attach(recorder)
         machine.scheduler.record = True
@@ -182,6 +223,8 @@ def log_regions(image: bytes, regions: Sequence[RegionSpec],
             whole_image=True,
             pages_early=True,
             next_tid=next_tid,
+            open_files=open_files,
+            futex_waiters=futex_waiters,
         )
         if status.kind != "stopped":
             break
@@ -230,16 +273,15 @@ def log_region(image: bytes, region: RegionSpec,
         if not thread.alive:
             continue
         start_icounts[thread.tid] = thread.icount
-        threads.append(
-            ThreadRecord(
-                tid=thread.tid,
-                regs=thread.regs.copy(),
-                blocked=thread.blocked,
-                futex_addr=thread.futex_addr,
-            )
-        )
+        threads.append(_thread_snapshot(thread))
     brk_start = machine.kernel.brk_start
     brk_end = machine.kernel.brk_end
+    # tid allocation state must be snapshotted *before* the record
+    # window: a clone inside the region bumps the counter, and replay
+    # must re-allocate the same tids the recording run handed out.
+    next_tid = machine._next_tid
+    open_files = _capture_open_files(machine)
+    futex_waiters = _capture_futex_waiters(machine)
 
     # Record during the window.
     recorder = _RecordingTool(lazy=not pages_early)
@@ -285,5 +327,7 @@ def log_region(image: bytes, region: RegionSpec,
         whole_image=whole_image,
         pages_early=pages_early,
         program_icount=0,
-        next_tid=machine._next_tid,
+        next_tid=next_tid,
+        open_files=open_files,
+        futex_waiters=futex_waiters,
     )

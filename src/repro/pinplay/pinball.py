@@ -76,6 +76,30 @@ class SyscallRecord:
 
 
 @dataclass
+class OpenFileRecord:
+    """One file descriptor that was open when the region started.
+
+    Captured so replay (and the sysstate tool) can restore the
+    descriptor — at its recorded file offset — *before* the first
+    replayed syscall, instead of lazily discovering it on first access.
+    """
+
+    fd: int
+    path: str
+    flags: int = 0
+    offset: int = 0
+
+    def to_json(self) -> dict:
+        return {"fd": self.fd, "path": self.path, "flags": self.flags,
+                "offset": self.offset}
+
+    @classmethod
+    def from_json(cls, data: dict) -> "OpenFileRecord":
+        return cls(fd=data["fd"], path=data["path"],
+                   flags=data.get("flags", 0), offset=data.get("offset", 0))
+
+
+@dataclass
 class ThreadRecord:
     """Per-thread capture state (one ``.reg`` file)."""
 
@@ -86,6 +110,12 @@ class ThreadRecord:
     #: Whether the thread was blocked (futex) at region start.
     blocked: bool = False
     futex_addr: Optional[int] = None
+    #: Armed-but-unfired PMU trap at region start: instructions left
+    #: until the trap fires, and its handler address.  Without these a
+    #: trap armed before the region silently never fires during replay
+    #: and execution diverges at the recorded trap point.
+    pmu_remaining: Optional[int] = None
+    pmu_handler: Optional[int] = None
 
     def to_json(self) -> dict:
         return {
@@ -94,6 +124,8 @@ class ThreadRecord:
             "region_icount": self.region_icount,
             "blocked": self.blocked,
             "futex_addr": self.futex_addr,
+            "pmu_remaining": self.pmu_remaining,
+            "pmu_handler": self.pmu_handler,
         }
 
     @classmethod
@@ -104,6 +136,8 @@ class ThreadRecord:
             region_icount=data["region_icount"],
             blocked=data["blocked"],
             futex_addr=data.get("futex_addr"),
+            pmu_remaining=data.get("pmu_remaining"),
+            pmu_handler=data.get("pmu_handler"),
         )
 
 
@@ -128,6 +162,14 @@ class Pinball:
     #: The source machine's thread-id counter at region start, so that
     #: clone() inside the region assigns identical tids during replay.
     next_tid: int = 0
+    #: Non-console file descriptors open at region start (fd, path,
+    #: flags, offset) — restored eagerly before the first replayed
+    #: syscall.  Empty for pinballs from older recordings.
+    open_files: List[OpenFileRecord] = field(default_factory=list)
+    #: Futex wait-queue order at region start: futex address -> waiter
+    #: tids in wake order.  Lets replay re-execute FUTEX_WAKE natively
+    #: with the recorded wake order.
+    futex_waiters: Dict[int, List[int]] = field(default_factory=dict)
 
     # -- derived -----------------------------------------------------------
 
@@ -225,6 +267,9 @@ class Pinball:
             "pages_early": self.pages_early,
             "program_icount": self.program_icount,
             "next_tid": self.next_tid,
+            "open_files": [record.to_json() for record in self.open_files],
+            "futex_waiters": {str(addr): tids for addr, tids
+                              in self.futex_waiters.items()},
         }
 
     @classmethod
@@ -246,6 +291,10 @@ class Pinball:
             pages_early=meta["pages_early"],
             program_icount=meta.get("program_icount", 0),
             next_tid=meta.get("next_tid", 0),
+            open_files=[OpenFileRecord.from_json(item)
+                        for item in meta.get("open_files", [])],
+            futex_waiters={int(addr): list(tids) for addr, tids
+                           in meta.get("futex_waiters", {}).items()},
         )
 
     def save(self, directory: str) -> str:

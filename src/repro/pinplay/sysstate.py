@@ -37,6 +37,11 @@ class ProxyFile:
     data: bytearray = field(default_factory=bytearray)
     #: Descriptor to restore via dup2 at ELFie start (FD_n files only).
     restore_fd: Optional[int] = None
+    #: File offset the descriptor had at region start; the ELFie startup
+    #: code re-applies it with lseek right after the dup2, *before* the
+    #: first replayed syscall can read, so proxy data lives at its real
+    #: file offsets instead of a lazily-defined virtual origin.
+    start_offset: int = 0
 
     def write_at(self, offset: int, data: bytes) -> None:
         end = offset + len(data)
@@ -94,21 +99,26 @@ class SysState:
 def extract_sysstate(pinball: Pinball) -> SysState:
     """Run the replay-based analysis over a pinball's syscall log.
 
-    Tracks each descriptor's virtual offset through open/read/lseek/
-    dup/dup2/close and places every read() result at the offset it was
-    consumed from, so a native re-execution returns identical data.
+    Tracks each descriptor's offset through open/read/lseek/dup/dup2/
+    close and places every read() result at the offset it was consumed
+    from, so a native re-execution returns identical data.
 
-    Known limitation (shared with the paper's tool): for descriptors
-    open before the region, offsets are virtual — the first region read
-    defines offset 0 of the FD_n proxy.  SEEK_SET inside the region is
-    honored in this virtual coordinate system; programs that seek to
-    absolute pre-region positions are outside the common cases handled.
+    For descriptors open before the region the pinball's
+    ``open_files`` records supply the *real* file offset at region
+    start; the FD_n proxy stores data at those real offsets and carries
+    ``start_offset`` so the ELFie startup code can lseek the restored
+    descriptor into position before the first read.  SEEK_SET to
+    absolute pre-region positions therefore round-trips correctly.
+    Pinballs from older recordings lack the records; for those the old
+    virtual-origin behaviour (first region read defines offset 0)
+    applies.
     """
     state = SysState(pinball_name=pinball.name)
-    # descriptor -> (ProxyFile, current virtual offset), per thread view
+    # descriptor -> (ProxyFile, current offset), per thread view
     # is unnecessary: descriptors are process-wide.
     open_files: Dict[int, Tuple[ProxyFile, int]] = {}
     proxies_by_identity: Dict[str, ProxyFile] = {}
+    recorded = {record.fd: record for record in pinball.open_files}
     saw_brk = False
 
     def proxy_for_fd(fd: int) -> Tuple[ProxyFile, int]:
@@ -118,10 +128,11 @@ def extract_sysstate(pinball: Pinball) -> SysState:
         name = "FD_%d" % fd
         proxy = proxies_by_identity.get(name)
         if proxy is None:
-            proxy = ProxyFile(name=name, restore_fd=fd)
+            start = recorded[fd].offset if fd in recorded else 0
+            proxy = ProxyFile(name=name, restore_fd=fd, start_offset=start)
             proxies_by_identity[name] = proxy
             state.files.append(proxy)
-        open_files[fd] = (proxy, 0)
+        open_files[fd] = (proxy, proxy.start_offset)
         return open_files[fd]
 
     for record in pinball.syscalls:

@@ -26,6 +26,7 @@ from repro.simpoint.pinpoints import (
     PinPointsResult,
     add_pinpoints_jobs,
     elfie_validation,
+    fidelity_validation,
     run_pinpoints,
     run_pinpoints_campaign,
     run_pinpoints_farm,
@@ -51,6 +52,7 @@ __all__ = [
     "FarmValidation",
     "add_pinpoints_jobs",
     "elfie_validation",
+    "fidelity_validation",
     "run_pinpoints",
     "run_pinpoints_campaign",
     "run_pinpoints_farm",

@@ -169,6 +169,48 @@ def elfie_validation(label: str, seed: int = 0, trials: int = 3,
                            "use_alternates": use_alternates})
 
 
+def _verify_fidelity_job(result: "PinPointsResult", image: bytes,
+                         **kwargs: Any) -> Dict[str, Any]:
+    from repro.verify import verify_pinball
+
+    names = sorted(result.pinballs)
+    max_regions = kwargs.get("max_regions")
+    skipped = 0
+    if max_regions is not None and len(names) > max_regions:
+        skipped = len(names) - max_regions
+        names = names[:max_regions]
+    reports = {
+        name: verify_pinball(image, result.pinballs[name],
+                             seed=kwargs.get("seed", 0),
+                             epochs=kwargs.get("epochs", 8),
+                             bisect=kwargs.get("bisect", True)).to_json()
+        for name in names
+    }
+    return {
+        "ok": all(report["ok"] for report in reports.values()),
+        "checked": len(reports),
+        "skipped": skipped,
+        "regions": reports,
+    }
+
+
+def fidelity_validation(label: str, seed: int = 0, epochs: int = 8,
+                        bisect: bool = True,
+                        max_regions: Optional[int] = None) -> FarmValidation:
+    """Differential replay-fidelity check as a farm validation pass.
+
+    Runs :func:`repro.verify.verify_pinball` (native vs replay in
+    digest-checkpointed epochs) over every captured region; the job
+    result is memoized in the store like any other validation, so a
+    re-run of an unchanged campaign is free.
+    """
+    params: Dict[str, Any] = {"seed": seed, "epochs": epochs,
+                              "bisect": bisect}
+    if max_regions is not None:
+        params["max_regions"] = max_regions
+    return FarmValidation(label, _verify_fidelity_job, params)
+
+
 @dataclass
 class FarmAppOutcome:
     """What the farm campaign produced for one app."""

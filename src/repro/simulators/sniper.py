@@ -33,7 +33,7 @@ from repro.machine.vfs import FileSystem
 from repro.observe import hooks
 from repro.pinplay.pinball import Pinball
 from repro.machine.scheduler import Scheduler, ScheduleSlice
-from repro.pinplay.replayer import _InjectionTool, _reconstruct
+from repro.pinplay.replayer import ReplaySession
 from repro.simulators.branch import BranchPredictor
 from repro.simulators.cachesim import Cache, CacheHierarchy
 
@@ -239,26 +239,17 @@ class SniperSim:
                          fs: Optional[FileSystem] = None) -> SniperResult:
         """Constrained simulation: replay the pinball under the timing
         model (Sniper modified to include the PinPlay library)."""
-        machine = _reconstruct(pinball, seed=seed, fs=fs)
-        for record in pinball.threads:
-            if record.blocked:
-                thread = machine.threads[record.tid]
-                thread.blocked = True
-                thread.futex_addr = record.futex_addr
-        injector = _InjectionTool(pinball, instrument=False)
+        session = ReplaySession(pinball, injection=True, seed=seed, fs=fs,
+                                instrument=False)
+        machine = session.machine
         tool = _SniperTool(self.config, roi_armed=True, end_pc=None,
                            end_count=0, roi_budget=None)
-        machine.attach(injector)
         machine.attach(tool)
-        machine.scheduler.replay(pinball.schedule)
-        budget = sum(s.quantum for s in pinball.schedule)
-        if budget == 0:
-            budget = pinball.region_icount
         with hooks.OBS.span("sniper.simulate_pinball", "sniper",
                             pinball=pinball.name):
-            status = machine.run(max_instructions=budget)
+            status = session.run()
         machine.detach(tool)
-        machine.detach(injector)
+        session.result()
         return self._finish(tool, status, constrained=True)
 
 
@@ -291,14 +282,11 @@ def find_end_condition(pinball: Pinball, seed: int = 0,
                 for delta in range(-spin_radius, spin_radius + 1):
                     self.spin.add(pc + delta)
 
-    machine = _reconstruct(pinball, seed=seed, fs=None)
-    injector = _InjectionTool(pinball, instrument=False)
+    session = ReplaySession(pinball, injection=True, seed=seed, fs=None,
+                            instrument=False)
     profiler = _Profiler()
-    machine.attach(injector)
-    machine.attach(profiler)
-    machine.scheduler.replay(pinball.schedule)
-    budget = sum(s.quantum for s in pinball.schedule) or pinball.region_icount
-    machine.run(max_instructions=budget)
+    session.machine.attach(profiler)
+    session.run()
     for pc in reversed(profiler.recent):
         if pc not in profiler.spin:
             return pc, profiler.counts[pc]
@@ -327,12 +315,9 @@ def profile_end_condition(pinball: Pinball, end_pc: int,
             if pc == end_pc:
                 self.count += 1
 
-    machine = _reconstruct(pinball, seed=seed, fs=None)
-    injector = _InjectionTool(pinball, instrument=False)
+    session = ReplaySession(pinball, injection=True, seed=seed, fs=None,
+                            instrument=False)
     counter = _Counter()
-    machine.attach(injector)
-    machine.attach(counter)
-    machine.scheduler.replay(pinball.schedule)
-    budget = sum(s.quantum for s in pinball.schedule) or pinball.region_icount
-    machine.run(max_instructions=budget)
+    session.machine.attach(counter)
+    session.run()
     return end_pc, counter.count

@@ -1,0 +1,118 @@
+"""Side-by-side architectural-state and memory diffs.
+
+When the verifier has localized a divergence, these helpers render the
+two machines' states next to each other so the mismatch is readable:
+which registers differ per thread, and which bytes differ in which
+pages (narrowed to the pages the epoch actually touched when a
+:class:`~repro.verify.digest.DirtyPageTracker` set is supplied).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterable, List, Optional
+
+from repro.isa.registers import GPR_NAMES
+from repro.machine.memory import PAGE_SHIFT, PAGE_SIZE
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.machine.machine import Machine
+
+MASK64 = (1 << 64) - 1
+_MAX_BYTE_RUNS = 8
+
+
+def _reg_rows(a_thread, b_thread) -> List[str]:
+    rows = []
+    a_regs, b_regs = a_thread.regs, b_thread.regs
+    for idx, name in enumerate(GPR_NAMES):
+        left, right = a_regs.gpr[idx] & MASK64, b_regs.gpr[idx] & MASK64
+        if left != right:
+            rows.append("    %-8s %016x | %016x" % (name, left, right))
+    for name in ("rip", "fs_base", "gs_base", "mxcsr"):
+        left = getattr(a_regs, name) & MASK64
+        right = getattr(b_regs, name) & MASK64
+        if left != right:
+            rows.append("    %-8s %016x | %016x" % (name, left, right))
+    left, right = a_regs.flags.to_word(), b_regs.flags.to_word()
+    if left != right:
+        rows.append("    %-8s %016x | %016x" % ("rflags", left, right))
+    for idx in range(len(a_regs.xmm)):
+        if a_regs.xmm[idx] != b_regs.xmm[idx]:
+            rows.append("    xmm%-5d %r | %r"
+                        % (idx, a_regs.xmm[idx], b_regs.xmm[idx]))
+    if a_thread.alive != b_thread.alive:
+        rows.append("    %-8s %16s | %16s"
+                    % ("alive", a_thread.alive, b_thread.alive))
+    if a_thread.blocked != b_thread.blocked:
+        rows.append("    %-8s %16s | %16s"
+                    % ("blocked", a_thread.blocked, b_thread.blocked))
+    return rows
+
+
+def _page_rows(a: "Machine", b: "Machine", page: int) -> List[str]:
+    base = page << PAGE_SHIFT
+    a_mapped = a.mem.is_mapped(base)
+    b_mapped = b.mem.is_mapped(base)
+    if a_mapped != b_mapped:
+        return ["  page 0x%x: mapped=%s | mapped=%s"
+                % (base, a_mapped, b_mapped)]
+    if not a_mapped:
+        return []
+    a_bytes = a.mem.page_bytes(page)
+    b_bytes = b.mem.page_bytes(page)
+    if a_bytes == b_bytes:
+        return []
+    rows = ["  page 0x%x:" % base]
+    runs = 0
+    offset = 0
+    while offset < PAGE_SIZE and runs < _MAX_BYTE_RUNS:
+        if a_bytes[offset] == b_bytes[offset]:
+            offset += 1
+            continue
+        start = offset
+        while (offset < PAGE_SIZE and offset - start < 16
+               and a_bytes[offset] != b_bytes[offset]):
+            offset += 1
+        rows.append("    +0x%03x  %s | %s"
+                    % (start, a_bytes[start:offset].hex(),
+                       b_bytes[start:offset].hex()))
+        runs += 1
+    if runs >= _MAX_BYTE_RUNS:
+        rows.append("    ... (more byte runs differ)")
+    return rows
+
+
+def side_by_side(a: "Machine", b: "Machine",
+                 labels: tuple = ("native", "replay"),
+                 pages: Optional[Iterable[int]] = None,
+                 tids: Optional[Iterable[int]] = None) -> str:
+    """Render the differing state between two machines.
+
+    *pages* narrows the memory section to the given page indices (the
+    epoch's dirty set); by default every mapped page is compared.
+    *tids* narrows the register section to comparable threads.
+    """
+    lines = ["state diff (%s | %s)" % labels]
+    keep = set(tids) if tids is not None else None
+    shared = sorted(set(a.threads) | set(b.threads))
+    for tid in shared:
+        if keep is not None and tid not in keep:
+            continue
+        if tid not in a.threads or tid not in b.threads:
+            lines.append("  tid %d: present=%s | present=%s"
+                         % (tid, tid in a.threads, tid in b.threads))
+            continue
+        rows = _reg_rows(a.threads[tid], b.threads[tid])
+        if rows:
+            lines.append("  tid %d:" % tid)
+            lines.extend(rows)
+    if pages is None:
+        candidates = sorted(set(a.mem.mapped_pages())
+                            | set(b.mem.mapped_pages()))
+    else:
+        candidates = sorted(set(pages))
+    for page in candidates:
+        lines.extend(_page_rows(a, b, page))
+    if len(lines) == 1:
+        lines.append("  (no differences)")
+    return "\n".join(lines)

@@ -1,0 +1,466 @@
+"""Fidelity fuzzing: randomized PX workloads through the round-trip.
+
+``generate_case`` derives a randomized workload — threads, self-
+modifying stores, mmap churn, file reads, syscalls, mid-block PMU traps
+— from a seed, and ``run_case`` drives it through the full
+record -> constrained replay -> ELFie pipeline under the differential
+verifier.  ``fuzz`` loops generation under a wall-clock budget;
+``minimize_case`` shrinks a failing case (fewer features, threads,
+iterations, a smaller region) while it still fails, producing the
+minimal seed that is persisted into the regression corpus.
+
+Everything is deterministic in the case description: the same
+:class:`FuzzCase` always builds the same program and the same region,
+so corpus replays are exact.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.pinball2elf import Pinball2Elf, Pinball2ElfOptions
+from repro.machine.loader import load_elf
+from repro.machine.machine import Machine
+from repro.machine.vfs import FileSystem
+from repro.observe import hooks
+from repro.pinplay.logger import LogOptions, log_region
+from repro.pinplay.regions import RegionSpec
+from repro.pinplay.sysstate import extract_sysstate
+from repro.verify.verifier import (
+    FidelityReport,
+    verify_elfie_entry,
+    verify_pinball,
+)
+from repro.workloads.compile import build_executable
+
+#: Every generatable workload ingredient.
+ALL_FEATURES: Tuple[str, ...] = (
+    "arith",      # register arithmetic (always useful filler)
+    "syscalls",   # getpid/time/write churn
+    "files",      # open/read/lseek against a pre-created input file
+    "mmap",       # anonymous mmap + store/load + munmap churn
+    "smc",        # copy code into an RWX mapping and call it
+    "futex",      # worker threads + futex wait/wake handshakes
+    "pmu",        # mid-block PMU trap ends the program via a handler
+)
+
+_INPUT_PATH = "/fuzz_in.dat"
+_INPUT_BYTES = bytes((7 * i + 3) & 0xFF for i in range(64))
+
+
+@dataclass(frozen=True)
+class FuzzCase:
+    """A deterministic description of one fuzz workload + region."""
+
+    seed: int
+    threads: int = 1
+    iterations: int = 4
+    features: Tuple[str, ...] = ("arith",)
+    #: Region start as a percentage of the program's total icount.
+    region_pos: int = 10
+    #: Region length as a percentage of the program's total icount.
+    region_len_pct: int = 50
+
+    @property
+    def name(self) -> str:
+        return "fuzz-%d" % self.seed
+
+    def to_json(self) -> dict:
+        return {
+            "seed": self.seed,
+            "threads": self.threads,
+            "iterations": self.iterations,
+            "features": list(self.features),
+            "region_pos": self.region_pos,
+            "region_len_pct": self.region_len_pct,
+        }
+
+    @classmethod
+    def from_json(cls, data: dict) -> "FuzzCase":
+        return cls(
+            seed=data["seed"],
+            threads=data.get("threads", 1),
+            iterations=data.get("iterations", 4),
+            features=tuple(data.get("features", ("arith",))),
+            region_pos=data.get("region_pos", 10),
+            region_len_pct=data.get("region_len_pct", 50),
+        )
+
+
+@dataclass
+class FuzzOutcome:
+    """What happened when a case went through the round-trip."""
+
+    case: FuzzCase
+    ok: bool
+    #: Pipeline stage that failed: "build" | "record" | "replay" |
+    #: "elfie" — or "" on success.  "build"/"record" failures indicate
+    #: an ungeneratable case (treated as invalid, not a divergence).
+    stage: str = ""
+    detail: str = ""
+    report: Optional[FidelityReport] = None
+
+    @property
+    def is_divergence(self) -> bool:
+        return not self.ok and self.stage in ("replay", "elfie")
+
+
+def generate_case(seed: int) -> FuzzCase:
+    """Derive a randomized case from *seed* (deterministically)."""
+    rng = random.Random(seed)
+    pool = [f for f in ALL_FEATURES if f != "arith"]
+    count = rng.randint(1, min(4, len(pool)))
+    features = ("arith",) + tuple(sorted(rng.sample(pool, count)))
+    threads = rng.randint(2, 3) if "futex" in features else 1
+    return FuzzCase(
+        seed=seed,
+        threads=threads,
+        iterations=rng.randint(1, 6),
+        features=features,
+        region_pos=rng.randint(0, 60),
+        region_len_pct=rng.randint(10, 90),
+    )
+
+
+# -- program generation ---------------------------------------------------
+
+
+def _main_action(feature: str, rng: random.Random, index: int,
+                 lines: List[str]) -> None:
+    if feature == "arith":
+        for _ in range(rng.randint(2, 5)):
+            reg = rng.choice(("rbx", "rdx", "r9"))
+            lines.append("    %s %s, %d"
+                         % (rng.choice(("add", "sub", "xor")), reg,
+                            rng.randint(1, 255)))
+    elif feature == "syscalls":
+        which = rng.choice(("getpid", "time", "write"))
+        if which == "getpid":
+            lines += ["    mov rax, 39", "    syscall",
+                      "    add rbx, rax"]
+        elif which == "time":
+            lines += ["    mov rax, 201", "    mov rdi, 0", "    syscall",
+                      "    add rbx, rax"]
+        else:
+            lines += ["    mov rax, 1", "    mov rdi, 1",
+                      "    mov rsi, msg", "    mov rdx, 4", "    syscall"]
+    elif feature == "files":
+        if rng.random() < 0.4:
+            offset = rng.randrange(0, len(_INPUT_BYTES), 8)
+            lines += ["    mov rax, 8          ; lseek(r14, %d, SET)" % offset,
+                      "    mov rdi, r14", "    mov rsi, %d" % offset,
+                      "    mov rdx, 0", "    syscall"]
+        lines += ["    mov rax, 0          ; read(r14, buf, 8)",
+                  "    mov rdi, r14", "    mov rsi, buf",
+                  "    mov rdx, 8", "    syscall",
+                  "    ld rcx, [buf]", "    add rbx, rcx"]
+    elif feature == "mmap":
+        value = rng.randint(1, 0xFFFF)
+        lines += [
+            "    mov rax, 9          ; mmap(0, 4096, RW, PRIV|ANON)",
+            "    mov rdi, 0", "    mov rsi, 4096", "    mov rdx, 3",
+            "    mov r10, 0x22", "    mov r8, -1", "    mov r9, 0",
+            "    syscall", "    mov r13, rax",
+            "    mov rcx, %d" % value,
+            "    st [r13], rcx", "    ld rdx, [r13]", "    add rbx, rdx",
+        ]
+        if rng.random() < 0.5:
+            lines += ["    mov rax, 11         ; munmap",
+                      "    mov rdi, r13", "    mov rsi, 4096",
+                      "    syscall"]
+        else:
+            lines += ["    mov rax, 10         ; mprotect(r13, 4096, R)",
+                      "    mov rdi, r13", "    mov rsi, 4096",
+                      "    mov rdx, 1", "    syscall"]
+    elif feature == "smc":
+        lines += [
+            "    mov rax, 9          ; mmap(0, 4096, RWX, PRIV|ANON)",
+            "    mov rdi, 0", "    mov rsi, 4096", "    mov rdx, 7",
+            "    mov r10, 0x22", "    mov r8, -1", "    mov r9, 0",
+            "    syscall", "    mov r12, rax",
+            "    mov rsi, func", "    mov rdi, r12",
+            "    mov rcx, func_end", "    sub rcx, rsi",
+            "smc_copy_%d:" % index,
+            "    ld1 rdx, [rsi]", "    st1 [rdi], rdx",
+            "    add rsi, 1", "    add rdi, 1", "    sub rcx, 1",
+            "    cmp rcx, 0", "    jnz smc_copy_%d" % index,
+            "    call r12", "    add rbx, rdx",
+        ]
+
+
+def _program_source(case: FuzzCase) -> Tuple[str, str]:
+    """Build (text source, data source) for *case*."""
+    rng = random.Random(case.seed * 7919 + 17)
+    lines: List[str] = ["_start:", "    mov rbx, %d" % (case.seed & 0xFF)]
+    data: List[str] = ["msg:", '    .asciz "fzz\\n"']
+
+    workers = case.threads - 1 if "futex" in case.features else 0
+    if "files" in case.features:
+        lines += [
+            "    mov rax, 2          ; open(input, O_RDONLY)",
+            "    mov rdi, inpath", "    mov rsi, 0", "    syscall",
+            "    mov r14, rax",
+            # consume a prefix now so the region starts mid-file: the
+            # descriptor's *real* offset at region start is nonzero.
+            "    mov rax, 0", "    mov rdi, r14", "    mov rsi, buf",
+            "    mov rdx, 8", "    syscall",
+        ]
+        data += ["inpath:", '    .asciz "%s"' % _INPUT_PATH,
+                 "buf:", "    .zero 16"]
+    for worker in range(workers):
+        lines += [
+            "    mov rax, 56         ; clone worker %d" % worker,
+            "    mov rdi, 0x100",
+            "    mov rsi, wstack%d_top" % worker,
+            "    mov rdx, worker%d" % worker,
+            "    syscall",
+        ]
+        data += ["wflag%d:" % worker, "    .quad 0",
+                 "    .zero 2048", "wstack%d_top:" % worker,
+                 "    .quad 0"]
+
+    actionable = [f for f in case.features if f not in ("futex", "pmu")]
+    for index in range(case.iterations * 3):
+        _main_action(rng.choice(actionable), rng, index, lines)
+
+    # Join the workers: futex-wait until each posts its flag.
+    for worker in range(workers):
+        lines += [
+            "wait%d:" % worker,
+            "    ld4 rcx, [wflag%d]" % worker,
+            "    cmp rcx, 0",
+            "    jnz joined%d" % worker,
+            "    mov rax, 202        ; futex(WAIT, wflag, 0)",
+            "    mov rdi, wflag%d" % worker,
+            "    mov rsi, 0", "    mov rdx, 0", "    syscall",
+            "    jmp wait%d" % worker,
+            "joined%d:" % worker,
+            "    add rbx, rcx",
+        ]
+
+    if "pmu" in case.features:
+        threshold = 16 + (case.seed % 23)  # lands mid-way through spin
+        lines += [
+            "    mov rax, 298        ; perf_event_open(INSTR, %d)" % threshold,
+            "    mov rdi, 0", "    mov rsi, %d" % threshold,
+            "    mov rdx, finish", "    syscall",
+            "spin:",
+            "    add rbx, 1", "    add rbx, 1", "    add rbx, 1",
+            "    add rbx, 1", "    add rbx, 1",
+            "    jmp spin",
+        ]
+    lines += [
+        "finish:",
+        "    mov rdi, rbx",
+        "    and rdi, 0xff",
+        "    mov rax, 231        ; exit_group(checksum)",
+        "    syscall",
+    ]
+    for worker in range(workers):
+        spins = 5 + 3 * worker + (case.seed % 7)
+        lines += [
+            "worker%d:" % worker,
+            "    mov rcx, %d" % spins,
+            "wloop%d:" % worker,
+            "    add rdx, 3", "    sub rcx, 1", "    cmp rcx, 0",
+            "    jnz wloop%d" % worker,
+            "    mov rcx, 1",
+            "    st4 [wflag%d], rcx" % worker,
+            "    mov rax, 202        ; futex(WAKE, wflag, 1)",
+            "    mov rdi, wflag%d" % worker,
+            "    mov rsi, 1", "    mov rdx, 1", "    syscall",
+            "    mov rax, 60         ; exit(0)",
+            "    mov rdi, 0", "    syscall",
+        ]
+    if "smc" in case.features:
+        lines += [
+            "func:",
+            "    mov rdx, 11",
+            "    add rdx, rbx",
+            "    and rdx, 0xff",
+            "    ret",
+            "func_end:",
+            "    nop",
+        ]
+    return "\n".join(lines), "\n".join(data)
+
+
+def _case_fs(case: FuzzCase) -> FileSystem:
+    fs = FileSystem()
+    if "files" in case.features:
+        fs.create(_INPUT_PATH, _INPUT_BYTES)
+    return fs
+
+
+def build_case(case: FuzzCase) -> Tuple[bytes, FileSystem]:
+    """Assemble the case's program; returns (ELF image, input fs)."""
+    source, data = _program_source(case)
+    return build_executable(source, data_source=data), _case_fs(case)
+
+
+def _measure(image: bytes, fs: FileSystem, seed: int) -> Optional[int]:
+    """Total icount of a clean native run, or None if it misbehaves."""
+    machine = Machine(seed=seed, fs=fs)
+    load_elf(machine, image)
+    status = machine.run(max_instructions=2_000_000)
+    if status.kind != "exit":
+        return None
+    return machine.executed_total
+
+
+def _pick_region(case: FuzzCase, total: int) -> Optional[RegionSpec]:
+    if total < 16:
+        return None
+    start = min(total * case.region_pos // 100, total - 8)
+    length = max(8, total * case.region_len_pct // 100)
+    length = min(length, total - start - 1)
+    if length < 4:
+        start = 0
+        length = max(8, total // 2)
+    return RegionSpec(start=start, length=length, warmup=0,
+                      name=case.name)
+
+
+def run_case(case: FuzzCase, seed: int = 0,
+             check_elfie: bool = True) -> FuzzOutcome:
+    """Drive one case through record -> replay -> ELFie verification."""
+    try:
+        image, fs = build_case(case)
+    except Exception as exc:  # generator produced unassemblable code
+        return FuzzOutcome(case=case, ok=False, stage="build",
+                           detail=str(exc))
+    total = _measure(image, fs, seed)
+    if total is None:
+        return FuzzOutcome(case=case, ok=False, stage="build",
+                           detail="native run did not exit gracefully")
+    region = _pick_region(case, total)
+    if region is None:
+        return FuzzOutcome(case=case, ok=False, stage="build",
+                           detail="program too short (%d instructions)"
+                           % total)
+    try:
+        pinball = log_region(image, region, seed=seed, fs=_case_fs(case),
+                             options=LogOptions(name=case.name))
+    except Exception as exc:
+        return FuzzOutcome(case=case, ok=False, stage="record",
+                           detail=str(exc))
+
+    report = verify_pinball(image, pinball, seed=seed, fs=_case_fs(case))
+    if not report.ok:
+        return FuzzOutcome(case=case, ok=False, stage="replay",
+                           detail=str(report.divergence), report=report)
+
+    if check_elfie:
+        state = extract_sysstate(pinball)
+        elfie_fs = _case_fs(case)
+        workdir = state.write_to(elfie_fs)
+        artifact = Pinball2Elf(
+            pinball, Pinball2ElfOptions(sysstate=state)).convert()
+        entry = verify_elfie_entry(artifact.image, pinball, seed=seed,
+                                   fs=elfie_fs, workdir=workdir)
+        if not entry.ok:
+            return FuzzOutcome(case=case, ok=False, stage="elfie",
+                               detail=entry.detail, report=report)
+    return FuzzOutcome(case=case, ok=True, report=report)
+
+
+# -- minimization ------------------------------------------------------------
+
+
+def _reductions(case: FuzzCase) -> List[FuzzCase]:
+    """Candidate simpler cases, most aggressive first."""
+    out: List[FuzzCase] = []
+    for feature in case.features:
+        if feature == "arith":
+            continue
+        smaller = tuple(f for f in case.features if f != feature)
+        candidate = replace(case, features=smaller)
+        if "futex" not in smaller:
+            candidate = replace(candidate, threads=1)
+        out.append(candidate)
+    if case.threads > 2:
+        out.append(replace(case, threads=case.threads - 1))
+    if case.iterations > 1:
+        out.append(replace(case, iterations=case.iterations // 2))
+    if case.region_pos > 0:
+        out.append(replace(case, region_pos=0))
+    if case.region_len_pct < 100:
+        out.append(replace(case, region_len_pct=100))
+    return out
+
+
+def minimize_case(case: FuzzCase, seed: int = 0,
+                  max_steps: int = 32) -> FuzzCase:
+    """Greedily shrink a failing case while it keeps failing."""
+    outcome = run_case(case, seed=seed)
+    if outcome.ok:
+        return case
+    steps = 0
+    changed = True
+    while changed and steps < max_steps:
+        changed = False
+        for candidate in _reductions(case):
+            steps += 1
+            if not run_case(candidate, seed=seed).is_divergence:
+                continue
+            case = candidate
+            changed = True
+            break
+    return case
+
+
+# -- the fuzz loop ------------------------------------------------------------
+
+
+@dataclass
+class FuzzSummary:
+    """Aggregate result of one fuzz campaign."""
+
+    cases_run: int = 0
+    invalid: int = 0
+    failures: List[FuzzOutcome] = field(default_factory=list)
+    minimized: Dict[int, FuzzCase] = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+
+def fuzz(time_budget: float = 30.0, start_seed: int = 0,
+         max_cases: Optional[int] = None, seed: int = 0,
+         minimize: bool = True) -> FuzzSummary:
+    """Generate and verify cases until the wall-clock budget expires.
+
+    Failing cases are minimized (when *minimize* is set) and collected;
+    the CLI persists them into the regression corpus.
+    """
+    obs = hooks.OBS
+    summary = FuzzSummary()
+    deadline = time.monotonic() + time_budget
+    case_seed = start_seed
+    while time.monotonic() < deadline:
+        if max_cases is not None and summary.cases_run >= max_cases:
+            break
+        case = generate_case(case_seed)
+        case_seed += 1
+        outcome = run_case(case, seed=seed)
+        summary.cases_run += 1
+        if obs.enabled:
+            obs.count("verify.fuzz_cases")
+        if outcome.ok:
+            continue
+        if not outcome.is_divergence:
+            summary.invalid += 1
+            continue
+        if obs.enabled:
+            obs.count("verify.fuzz_failures")
+            obs.instant("verify.fuzz_failure", "verify",
+                        case=case.to_json(), stage=outcome.stage,
+                        detail=outcome.detail)
+        if minimize:
+            summary.minimized[case.seed] = minimize_case(case, seed=seed)
+        summary.failures.append(outcome)
+    return summary
