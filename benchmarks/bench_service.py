@@ -1,0 +1,167 @@
+"""Checkpoint service throughput: concurrent campaigns and store contention.
+
+Two measurements for the sharded, networked checkpoint farm:
+
+- **campaign concurrency**: N identical-shape (but distinct-workload)
+  PinPoints campaigns submitted to one service with 2 workers,
+  concurrently vs back-to-back.  The fair-share scheduler should
+  overlap the campaigns' independent stages, so the concurrent wall
+  clock lands well under the sequential sum.
+- **store contention**: concurrent writers pushing artifacts into the
+  sharded store vs a single writer pushing the same bytes — the
+  per-shard layout plus atomic-rename writes mean contended throughput
+  should hold up (no global lock to convoy on).
+
+Both publish machine-readable footers; the numbers are host-dependent,
+so (unlike the interpreter-MIPS bench) nothing gates CI — the service
+e2e smoke job covers correctness.
+"""
+
+import multiprocessing
+import threading
+import time
+
+from conftest import FAST, publish
+
+from repro.analysis import Table
+from repro.service import ServerThread, ShardedStore, connect, worker_main
+from repro.simpoint import elfie_validation
+from repro.workloads import PhaseSpec, ProgramBuilder
+
+CAMPAIGNS = 2 if FAST else 3
+WORKERS = 2
+PIPELINE = dict(slice_size=10_000, warmup=20_000, max_k=3 if FAST else 4,
+                max_alternates=1)
+WRITERS = 2 if FAST else 4
+ARTIFACTS_PER_WRITER = 6 if FAST else 16
+ARTIFACT_BYTES = 64 * 1024
+
+
+def _workload(index):
+    scale = 30_000 if FAST else 60_000
+    return ProgramBuilder(
+        name="svc%d" % index, threads=1,
+        phases=[PhaseSpec("compute", scale, buffer_kb=8 + 4 * index),
+                PhaseSpec("stream", scale, buffer_kb=16)],
+    ).build()
+
+
+def _run_campaign(host, port, label, image):
+    from repro.service import run_service_campaign
+
+    with connect(host, port, client_id=label) as client:
+        run_service_campaign({label: image}, client,
+                             validations=[elfie_validation("v", trials=1)],
+                             **PIPELINE)
+
+
+def _with_service(tmp_path, body):
+    with ServerThread(str(tmp_path), shards=2, lease_timeout=20.0) as server:
+        host, port = server.server.host, server.server.port
+        context = multiprocessing.get_context("fork")
+        workers = [context.Process(target=worker_main, args=(host, port),
+                                   kwargs=dict(name="w%d" % index,
+                                               poll_s=0.3, idle_exit_s=6.0))
+                   for index in range(WORKERS)]
+        for process in workers:
+            process.start()
+        try:
+            return body(host, port)
+        finally:
+            for process in workers:
+                process.join(120.0)
+
+
+def bench_concurrent_campaigns(tmp_path_factory):
+    images = {"app%d" % index: _workload(index)
+              for index in range(CAMPAIGNS)}
+
+    def sequential(host, port):
+        started = time.perf_counter()
+        for label, image in images.items():
+            _run_campaign(host, port, label, image)
+        return time.perf_counter() - started
+
+    def concurrent(host, port):
+        threads = [threading.Thread(target=_run_campaign,
+                                    args=(host, port, label, image))
+                   for label, image in images.items()]
+        started = time.perf_counter()
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        return time.perf_counter() - started
+
+    sequential_s = _with_service(
+        tmp_path_factory.mktemp("svc-seq"), sequential)
+    concurrent_s = _with_service(
+        tmp_path_factory.mktemp("svc-conc"), concurrent)
+    return sequential_s, concurrent_s
+
+
+def bench_store_contention(root):
+    payloads = [b"%04d" % index + b"\x5a" * (ARTIFACT_BYTES - 4)
+                for index in range(WRITERS * ARTIFACTS_PER_WRITER)]
+
+    def write_range(store, start, count):
+        for index in range(start, start + count):
+            store.put("bench/%04d" % index,
+                      {"index": index, "blob": payloads[index]}, "object")
+
+    single_store = ShardedStore(str(root / "single"), shards=2)
+    started = time.perf_counter()
+    write_range(single_store, 0, len(payloads))
+    single_s = time.perf_counter() - started
+
+    contended_store = ShardedStore(str(root / "contended"), shards=2)
+    threads = [threading.Thread(
+        target=write_range,
+        args=(contended_store, index * ARTIFACTS_PER_WRITER,
+              ARTIFACTS_PER_WRITER))
+        for index in range(WRITERS)]
+    started = time.perf_counter()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    contended_s = time.perf_counter() - started
+    assert contended_store.verify() == []
+    total_bytes = sum(len(blob) for blob in payloads)
+    return single_s, contended_s, total_bytes
+
+
+def test_bench_service(tmp_path_factory, tmp_path):
+    sequential_s, concurrent_s = bench_concurrent_campaigns(tmp_path_factory)
+    single_s, contended_s, total_bytes = bench_store_contention(tmp_path)
+
+    table = Table(
+        title="Checkpoint service: concurrency and store contention",
+        headers=["measurement", "value"],
+    )
+    table.add_row("campaigns (N)", str(CAMPAIGNS))
+    table.add_row("workers", str(WORKERS))
+    table.add_row("sequential campaigns (s)", "%.2f" % sequential_s)
+    table.add_row("concurrent campaigns (s)", "%.2f" % concurrent_s)
+    table.add_row("campaign overlap speedup",
+                  "%.2fx" % (sequential_s / concurrent_s))
+    table.add_row("store single-writer (MB/s)",
+                  "%.1f" % (total_bytes / single_s / 1e6))
+    table.add_row("store %d-writer (MB/s)" % WRITERS,
+                  "%.1f" % (total_bytes / contended_s / 1e6))
+    table.add_row("contention retention",
+                  "%.0f%%" % (100.0 * single_s / contended_s))
+    text = table.render()
+    text += "\ncampaign_speedup: %.3f" % (sequential_s / concurrent_s)
+    text += "\ncontention_retention: %.3f" % (single_s / contended_s)
+    publish("bench_service", text)
+    # sanity floor, not a perf gate: overlap must not LOSE to sequential
+    # by more than scheduling noise on a loaded host
+    assert concurrent_s < sequential_s * 1.25
+
+
+if __name__ == "__main__":
+    import pytest
+    import sys
+
+    sys.exit(pytest.main([__file__, "-x", "-q", "-s"]))

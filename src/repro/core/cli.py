@@ -207,25 +207,35 @@ def _cmd_verify_corpus(args: argparse.Namespace) -> int:
     return 1 if bad else 0
 
 
-def _cmd_farm_run(args: argparse.Namespace) -> int:
-    from repro.farm import ArtifactStore, read_manifest, summarize_manifest
-    from repro.simpoint import (
-        elfie_validation,
-        fidelity_validation,
-        run_pinpoints_campaign,
-    )
+def _campaign_images(args: argparse.Namespace) -> dict:
     from repro.workloads import get_app
 
-    store = ArtifactStore(args.store)
-    images = {}
-    for name in args.app:
-        images[name] = get_app(name).build(args.input)
+    return {name: get_app(name).build(args.input) for name in args.app}
+
+
+def _campaign_validations(args: argparse.Namespace) -> list:
+    from repro.simpoint import elfie_validation, fidelity_validation
+
     validations = [elfie_validation("elfie", seed=args.validate_seed,
                                     trials=args.trials)]
     if args.verify_fidelity:
         validations.append(fidelity_validation(
             "fidelity", seed=args.validate_seed,
             max_regions=args.fidelity_regions))
+    return validations
+
+
+def _cmd_farm_run(args: argparse.Namespace) -> int:
+    from repro.farm import open_store
+    from repro.simpoint import run_pinpoints_campaign
+
+    if args.shards:
+        from repro.service import ShardedStore
+        store = ShardedStore(args.store, shards=args.shards)
+    else:
+        store = open_store(args.store)
+    images = _campaign_images(args)
+    validations = _campaign_validations(args)
     outcomes = run_pinpoints_campaign(
         images, store,
         jobs=args.jobs,
@@ -237,6 +247,12 @@ def _cmd_farm_run(args: argparse.Namespace) -> int:
         seed=args.seed,
         validations=validations,
     )
+    return _report_campaign(outcomes, args.manifest)
+
+
+def _report_campaign(outcomes: dict, manifest_path: Optional[str]) -> int:
+    from repro.farm import read_manifest, summarize_manifest
+
     failed_fidelity = False
     for name, outcome in outcomes.items():
         validation = outcome.validations["elfie"]
@@ -258,8 +274,8 @@ def _cmd_farm_run(args: argparse.Namespace) -> int:
                           % (region, report["divergence"]["epoch"],
                              report["divergence"]["icount"]))
             failed_fidelity = failed_fidelity or not fidelity["ok"]
-    if args.manifest:
-        summary = summarize_manifest(read_manifest(args.manifest))
+    if manifest_path:
+        summary = summarize_manifest(read_manifest(manifest_path))
         print("jobs: %d  cache hits: %d  misses: %d  retries: %d  "
               "workers: %d" % (summary["jobs"], summary["cache_hits"],
                                summary["cache_misses"], summary["retries"],
@@ -284,26 +300,113 @@ def _cmd_farm_run(args: argparse.Namespace) -> int:
 
 
 def _cmd_farm_stats(args: argparse.Namespace) -> int:
-    from repro.farm import ArtifactStore
+    from repro.farm import open_store
 
-    stats = ArtifactStore(args.store).stats()
+    stats = open_store(args.store).stats()
     print(json.dumps(stats.to_json(), indent=2))
-    # stdout stays pure JSON (pipe to jq); the human line goes to stderr
+    if args.json:
+        return 0  # stdout stays pure JSON (pipe to jq)
+    # the human summary goes to stderr, per-shard breakdown included
     sys.stderr.write(
         "block pool: %d raw -> %d compressed bytes (%.2fx), dedup %.2fx\n"
         % (stats.unique_bytes, stats.compressed_bytes,
            stats.compression_ratio, stats.dedup_ratio))
+    for shard, info in sorted(getattr(stats, "shards", {}).items()):
+        sys.stderr.write(
+            "  %s: %d objects, %d blocks, %d bytes, hit rate %.1f%%, "
+            "%d repairs\n"
+            % (shard, info["objects"], info["blocks"], info["stored_bytes"],
+               100.0 * info["hit_rate"], info["repairs"]))
     return 0
 
 
 def _cmd_farm_gc(args: argparse.Namespace) -> int:
-    from repro.farm import ArtifactStore
+    from repro.farm import open_store
 
-    result = ArtifactStore(args.store).gc(dry_run=args.dry_run)
+    result = open_store(args.store).gc(dry_run=args.dry_run)
     verb = "would remove" if args.dry_run else "removed"
     print("%s %d blocks (%d bytes), %d live"
           % (verb, result.removed_blocks, result.freed_bytes,
              result.live_blocks))
+    return 0
+
+
+def _cmd_farm_rebalance(args: argparse.Namespace) -> int:
+    from repro.service import ShardedStore
+
+    store = ShardedStore(args.store)
+    moved = store.rebalance(shards=args.shards, dry_run=args.dry_run)
+    verb = "would move" if args.dry_run else "moved"
+    print("%s %d blocks (%d bytes), %d records across %d shards"
+          % (verb, moved.moved_blocks, moved.moved_bytes,
+             moved.moved_records, len(store.shards)))
+    return 0
+
+
+def _cmd_farm_scrub(args: argparse.Namespace) -> int:
+    from repro.service import ShardedStore
+
+    report = ShardedStore(args.store).scrub()
+    print("scrubbed %d objects (%d blocks): %d block repairs, "
+          "%d record repairs, %d lost"
+          % (report.objects, report.blocks_checked, report.repaired_blocks,
+             report.repaired_records, len(report.lost_keys)))
+    for key in report.lost_keys:
+        print("  LOST %s" % key)
+    return 1 if report.lost_keys else 0
+
+
+def _cmd_service_start(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.service import serve
+
+    try:
+        asyncio.run(serve(args.store, shards=args.shards, host=args.host,
+                          port=args.port, lease_timeout=args.lease_timeout,
+                          max_queued=args.max_queued, retries=args.retries))
+    except KeyboardInterrupt:
+        pass
+    return 0
+
+
+def _cmd_service_worker(args: argparse.Namespace) -> int:
+    from repro.service import worker_main
+
+    done = worker_main(args.host, args.port, name=args.name,
+                       poll_s=args.poll, idle_exit_s=args.idle_exit)
+    sys.stderr.write("worker exiting after %d jobs\n" % done)
+    return 0
+
+
+def _cmd_service_submit(args: argparse.Namespace) -> int:
+    from repro.service import connect, run_service_campaign
+
+    images = _campaign_images(args)
+    validations = _campaign_validations(args)
+    with connect(args.host, args.port, client_id=args.client) as client:
+        outcomes = run_service_campaign(
+            images, client,
+            manifest_path=args.manifest,
+            priority=args.priority,
+            slice_size=args.slice_size,
+            warmup=args.warmup,
+            max_k=args.max_k,
+            max_alternates=args.alternates,
+            seed=args.seed,
+            validations=validations,
+        )
+    return _report_campaign(outcomes, args.manifest)
+
+
+def _cmd_service_status(args: argparse.Namespace) -> int:
+    from repro.service import connect
+
+    with connect(args.host, args.port) as client:
+        stats = client.stats(store=args.store)
+    stats.pop("ok", None)
+    stats.pop("id", None)
+    print(json.dumps(stats, indent=2, sort_keys=True))
     return 0
 
 
@@ -434,11 +537,16 @@ def build_parser() -> argparse.ArgumentParser:
     farm_run.add_argument("--fidelity-regions", type=int, default=None,
                           metavar="N",
                           help="verify at most N regions per app")
+    farm_run.add_argument("--shards", type=int, default=0, metavar="N",
+                          help="create/open the store sharded across N "
+                               "roots (default: plain single-root store)")
     farm_run.set_defaults(func=_cmd_farm_run)
 
     farm_stats = farm_sub.add_parser("stats",
                                      help="artifact store statistics")
     farm_stats.add_argument("--store", default=".farm")
+    farm_stats.add_argument("--json", action="store_true",
+                            help="pure JSON output (no stderr summary)")
     farm_stats.set_defaults(func=_cmd_farm_stats)
 
     farm_gc = farm_sub.add_parser(
@@ -447,6 +555,86 @@ def build_parser() -> argparse.ArgumentParser:
     farm_gc.add_argument("--dry-run", action="store_true",
                          help="report what would be swept without deleting")
     farm_gc.set_defaults(func=_cmd_farm_gc)
+
+    farm_rebalance = farm_sub.add_parser(
+        "rebalance", help="re-ring a sharded store (grow/shrink/heal)")
+    farm_rebalance.add_argument("--store", default=".farm")
+    farm_rebalance.add_argument("--shards", type=int, default=None,
+                                metavar="N", help="new shard count "
+                                "(default: canonicalize the current ring)")
+    farm_rebalance.add_argument("--dry-run", action="store_true",
+                                help="report what would move")
+    farm_rebalance.set_defaults(func=_cmd_farm_rebalance)
+
+    farm_scrub = farm_sub.add_parser(
+        "scrub", help="verify + read-repair every artifact across shards")
+    farm_scrub.add_argument("--store", default=".farm")
+    farm_scrub.set_defaults(func=_cmd_farm_scrub)
+
+    service = sub.add_parser(
+        "service", help="networked checkpoint farm: server, workers, "
+                        "campaign submission")
+    service_sub = service.add_subparsers(dest="service_command",
+                                         required=True)
+
+    service_start = service_sub.add_parser(
+        "start", help="run the checkpoint service in the foreground")
+    service_start.add_argument("--store", default=".farm")
+    service_start.add_argument("--shards", type=int, default=0, metavar="N",
+                               help="shard the store across N roots")
+    service_start.add_argument("--host", default="127.0.0.1")
+    service_start.add_argument("--port", type=int, default=7461)
+    service_start.add_argument("--lease-timeout", type=float, default=30.0,
+                               help="seconds before a silent worker's "
+                                    "lease is re-queued")
+    service_start.add_argument("--max-queued", type=int, default=1024)
+    service_start.add_argument("--retries", type=int, default=2)
+    service_start.set_defaults(func=_cmd_service_start)
+
+    service_worker = service_sub.add_parser(
+        "worker", help="run one pull-based service worker")
+    service_worker.add_argument("--host", default="127.0.0.1")
+    service_worker.add_argument("--port", type=int, default=7461)
+    service_worker.add_argument("--name", default="")
+    service_worker.add_argument("--poll", type=float, default=2.0,
+                                help="lease long-poll seconds")
+    service_worker.add_argument("--idle-exit", type=float, default=0.0,
+                                help="exit after this many idle seconds "
+                                     "(0 = run forever)")
+    service_worker.set_defaults(func=_cmd_service_worker)
+
+    service_submit = service_sub.add_parser(
+        "submit", help="run a PinPoints campaign through the service")
+    service_submit.add_argument("--host", default="127.0.0.1")
+    service_submit.add_argument("--port", type=int, default=7461)
+    service_submit.add_argument("--client", default="",
+                                help="client id for fair-share accounting")
+    service_submit.add_argument("--priority", type=int, default=0)
+    service_submit.add_argument("--app", action="append", required=True,
+                                help="suite app name (repeatable)")
+    service_submit.add_argument("--input", default="train",
+                                choices=("test", "train", "ref"))
+    service_submit.add_argument("--slice-size", type=int, default=20_000)
+    service_submit.add_argument("--warmup", type=int, default=80_000)
+    service_submit.add_argument("--max-k", type=int, default=12)
+    service_submit.add_argument("--alternates", type=int, default=2)
+    service_submit.add_argument("--seed", type=int, default=0)
+    service_submit.add_argument("--validate-seed", type=int, default=0)
+    service_submit.add_argument("--trials", type=int, default=1)
+    service_submit.add_argument("--manifest", default=None,
+                                help="write a JSON-lines run manifest here")
+    service_submit.add_argument("--verify-fidelity", action="store_true")
+    service_submit.add_argument("--fidelity-regions", type=int,
+                                default=None, metavar="N")
+    service_submit.set_defaults(func=_cmd_service_submit)
+
+    service_status = service_sub.add_parser(
+        "status", help="print scheduler (and optionally store) stats")
+    service_status.add_argument("--host", default="127.0.0.1")
+    service_status.add_argument("--port", type=int, default=7461)
+    service_status.add_argument("--store", action="store_true",
+                                help="include per-shard store statistics")
+    service_status.set_defaults(func=_cmd_service_status)
     return parser
 
 

@@ -34,7 +34,14 @@ from repro.farm.manifest import (
     summarize_manifest,
 )
 from repro.farm.runner import CampaignError, FarmRunner, RunReport
-from repro.farm.store import ArtifactStore, GCStats, StoreCorruption, StoreStats
+from repro.farm.store import (
+    ArtifactStore,
+    GCStats,
+    StoreCorruption,
+    StoreStats,
+    build_record,
+    open_store,
+)
 
 __all__ = [
     "sha256_hex",
@@ -53,4 +60,6 @@ __all__ = [
     "StoreStats",
     "GCStats",
     "StoreCorruption",
+    "build_record",
+    "open_store",
 ]

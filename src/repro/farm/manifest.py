@@ -9,6 +9,11 @@ greps and ``jq``s well::
 
 ``state`` is ``ok`` | ``failed`` | ``blocked`` (an upstream dependency
 failed); ``cache`` is ``hit`` | ``miss`` | ``none`` (uncached job).
+
+Appends are crash- and concurrency-safe: each record is written as one
+``os.write`` to an ``O_APPEND`` descriptor, so concurrent writers never
+interleave bytes within a line, and a killed writer leaves at most one
+partial trailing line — which :func:`read_manifest` tolerates.
 """
 
 from __future__ import annotations
@@ -22,31 +27,56 @@ Record = Dict[str, Any]
 
 
 class RunManifest:
-    """Appends job records to a JSON-lines file as they complete."""
+    """Appends job records to a JSON-lines file as they complete.
 
-    def __init__(self, path: str) -> None:
+    ``resume`` keeps whatever is already in the file (several writers —
+    e.g. service campaign clients — sharing one manifest); the default
+    truncates, because one manifest normally describes one campaign run.
+    """
+
+    def __init__(self, path: str, resume: bool = False) -> None:
         self.path = path
         directory = os.path.dirname(path)
         if directory:
             os.makedirs(directory, exist_ok=True)
-        # truncate: one manifest describes one campaign run
-        with open(path, "w"):
+        with open(path, "a" if resume else "w"):
             pass
 
     def append(self, record: Record) -> None:
         record = dict(record)
         record.setdefault("ts", time.time())
-        with open(self.path, "a") as handle:
-            handle.write(json.dumps(record, sort_keys=True) + "\n")
+        line = (json.dumps(record, sort_keys=True) + "\n").encode("utf-8")
+        # One O_APPEND write per record: POSIX appends are atomic with
+        # respect to each other, so records from concurrent runners (or
+        # a runner killed mid-append) never corrupt earlier lines.
+        fd = os.open(self.path, os.O_RDWR | os.O_APPEND | os.O_CREAT,
+                     0o644)
+        try:
+            size = os.fstat(fd).st_size
+            if size and os.pread(fd, 1, size - 1) != b"\n":
+                # a killed writer left a torn tail: terminate it so this
+                # record starts on a fresh line (the reader drops both
+                # the torn fragment and any stray blank line)
+                os.write(fd, b"\n")
+            os.write(fd, line)
+        finally:
+            os.close(fd)
 
 
 def read_manifest(path: str) -> List[Record]:
+    """Parse a manifest, skipping an unparseable (torn) trailing line."""
     records: List[Record] = []
     with open(path) as handle:
         for line in handle:
             line = line.strip()
-            if line:
+            if not line:
+                continue
+            try:
                 records.append(json.loads(line))
+            except ValueError:
+                # a writer died mid-append; the torn line carries no
+                # completed job, so skipping it loses nothing
+                continue
     return records
 
 
@@ -97,7 +127,8 @@ def summarize_manifest(records: List[Record]) -> Dict[str, Any]:
                 per_stage["icount"] += icount
                 summary["executed_icount"] += icount
                 summary["interp_wall_s"] += record["wall_s"]
-    summary["workers"] = sorted(summary["workers"])
+    # workers are pids on the local path and names on the service path
+    summary["workers"] = sorted(summary["workers"], key=str)
     summary["executed_wall_s"] = round(summary["executed_wall_s"], 4)
     summary["interp_wall_s"] = round(summary["interp_wall_s"], 4)
     if summary["interp_wall_s"]:

@@ -22,6 +22,7 @@ from __future__ import annotations
 import json
 import os
 import tempfile
+import time
 import zlib
 from dataclasses import dataclass, field
 from typing import Any, Dict, Iterator, List
@@ -30,6 +31,11 @@ from repro.farm import codec
 from repro.observe import hooks
 
 _FORMAT = {"format": "repro-farm-store", "version": 1}
+
+#: Temp files older than this are considered abandoned by a killed
+#: writer and are reclaimed by ``gc`` (an active writer holds its temp
+#: file for milliseconds, not minutes).
+STALE_TMP_S = 300.0
 
 
 class StoreCorruption(Exception):
@@ -102,6 +108,25 @@ class GCStats:
                 "dry_run": self.dry_run}
 
 
+def build_record(key: str, kind: str, meta: dict,
+                 blocks: Dict[str, bytes]) -> dict:
+    """The meta record :meth:`ArtifactStore.put` writes for an artifact.
+
+    Shared with the sharded store and the service's ``put-artifact``
+    verb so every writer produces byte-identical records for identical
+    content.
+    """
+    sizes = {digest: len(data) for digest, data in blocks.items()}
+    return {
+        "key": key,
+        "kind": kind,
+        "meta": meta,
+        "block_sizes": sizes,
+        "logical_bytes": sum(sizes[digest]
+                             for digest in _referenced_digests(meta)),
+    }
+
+
 def _atomic_write(path: str, data: bytes) -> None:
     directory = os.path.dirname(path)
     os.makedirs(directory, exist_ok=True)
@@ -142,6 +167,10 @@ class ArtifactStore:
         return os.path.join(self._blocks_dir, digest[:2], digest)
 
     def _meta_path(self, key: str) -> str:
+        # keys may contain "/" (the service's run-scoped result keys);
+        # they become sub-directories, but must never escape the store
+        if not key or key.startswith(("/", ".")) or ".." in key.split("/"):
+            raise ValueError("invalid store key %r" % key)
         return os.path.join(self._objects_dir, key[:2], key + ".json")
 
     # -- blocks ------------------------------------------------------------
@@ -196,6 +225,35 @@ class ArtifactStore:
         except OSError:
             pass
 
+    # Public block-level interface: the sharded store and the service's
+    # artifact verbs route individual blocks by digest, so the per-shard
+    # primitives must be reachable from outside this class.
+
+    def has_block(self, digest: str) -> bool:
+        return os.path.exists(self._block_path(digest))
+
+    def write_block(self, digest: str, data: bytes) -> None:
+        """Idempotent, atomic write of one verified raw block."""
+        self._write_block(digest, data)
+
+    def read_block(self, digest: str) -> bytes:
+        """Read and integrity-verify one block (raises StoreCorruption)."""
+        return self._read_block(digest)
+
+    def remove_block(self, digest: str) -> bool:
+        try:
+            os.unlink(self._block_path(digest))
+            return True
+        except FileNotFoundError:
+            return False
+
+    def block_digests(self) -> Iterator[str]:
+        """Digests of every block file in the pool."""
+        return self._iter_block_files()
+
+    def block_size(self, digest: str) -> int:
+        return os.path.getsize(self._block_path(digest))
+
     # -- objects -----------------------------------------------------------
 
     def put(self, key: str, obj: Any, kind: str = "") -> str:
@@ -207,22 +265,29 @@ class ArtifactStore:
         kind, meta, blocks = codec.encode(obj, kind)
         for digest, data in blocks.items():
             self._write_block(digest, data)
-        record = {
-            "key": key,
-            "kind": kind,
-            "meta": meta,
-            "block_sizes": {digest: len(data)
-                            for digest, data in blocks.items()},
-            "logical_bytes": self._logical_bytes(meta, blocks),
-        }
-        _atomic_write(self._meta_path(key),
-                      json.dumps(record, sort_keys=True).encode("utf-8"))
+        self.put_record(key, build_record(key, kind, meta, blocks))
         return key
 
-    @staticmethod
-    def _logical_bytes(meta: dict, blocks: Dict[str, bytes]) -> int:
-        sizes = {digest: len(data) for digest, data in blocks.items()}
-        return sum(sizes[digest] for digest in _referenced_digests(meta))
+    def put_record(self, key: str, record: dict) -> None:
+        """Atomically install an artifact meta record.
+
+        The record must only reference blocks that are already in the
+        pool — this is the commit point that makes a partially written
+        artifact simply absent rather than corrupt.
+        """
+        _atomic_write(self._meta_path(key),
+                      json.dumps(record, sort_keys=True).encode("utf-8"))
+
+    def get_record(self, key: str) -> dict:
+        """The raw meta record for *key* (KeyError when absent)."""
+        return self._load_record(key)
+
+    def remove_record(self, key: str) -> bool:
+        try:
+            os.unlink(self._meta_path(key))
+            return True
+        except FileNotFoundError:
+            return False
 
     def _load_record(self, key: str) -> dict:
         try:
@@ -250,20 +315,19 @@ class ArtifactStore:
 
     def delete(self, key: str) -> bool:
         """Drop the meta record (blocks are reclaimed by :meth:`gc`)."""
-        try:
-            os.unlink(self._meta_path(key))
-            return True
-        except FileNotFoundError:
-            return False
+        return self.remove_record(key)
 
     def keys(self) -> Iterator[str]:
-        for shard in sorted(os.listdir(self._objects_dir)):
-            shard_dir = os.path.join(self._objects_dir, shard)
-            if not os.path.isdir(shard_dir):
-                continue
-            for name in sorted(os.listdir(shard_dir)):
-                if name.endswith(".json"):
-                    yield name[:-len(".json")]
+        for dirpath, dirnames, filenames in os.walk(self._objects_dir):
+            dirnames.sort()
+            for name in sorted(filenames):
+                if not name.endswith(".json"):
+                    continue
+                relative = os.path.relpath(os.path.join(dirpath, name),
+                                           self._objects_dir)
+                parts = relative.split(os.sep)
+                # drop the two-char fan-out prefix; the rest is the key
+                yield "/".join(parts[1:])[:-len(".json")]
 
     # -- maintenance -------------------------------------------------------
 
@@ -298,12 +362,14 @@ class ArtifactStore:
                 stats.compressed_bytes += os.path.getsize(path)
         return stats
 
-    def gc(self, dry_run: bool = False) -> GCStats:
+    def gc(self, dry_run: bool = False,
+           tmp_ttl_s: float = STALE_TMP_S) -> GCStats:
         """Mark-sweep: delete blocks no live artifact references.
 
         With ``dry_run`` nothing is unlinked; the returned stats report
         what a real sweep *would* remove (the ``farm gc --dry-run``
-        report).
+        report).  Also reclaims temp files abandoned by killed writers
+        (older than *tmp_ttl_s*).
         """
         live: set = set()
         for key in self.keys():
@@ -319,11 +385,36 @@ class ArtifactStore:
             if not dry_run:
                 os.unlink(path)
             result.removed_blocks += 1
+        if not dry_run:
+            self.sweep_tmp(tmp_ttl_s)
         obs = hooks.OBS
         if obs.enabled and not dry_run:
             obs.count("store.gc_removed_blocks", result.removed_blocks)
             obs.count("store.gc_freed_bytes", result.freed_bytes)
         return result
+
+    def sweep_tmp(self, ttl_s: float = STALE_TMP_S) -> int:
+        """Unlink ``.tmp-`` files older than *ttl_s* (killed writers).
+
+        A SIGKILLed ``put`` can leave the temp file a pending atomic
+        rename was staged in; it is invisible to readers (every lookup
+        goes through the final path) but holds disk until swept.
+        """
+        removed = 0
+        now = time.time()
+        for base in (self._blocks_dir, self._objects_dir):
+            for dirpath, _dirs, files in os.walk(base):
+                for name in files:
+                    if not name.startswith(".tmp-"):
+                        continue
+                    path = os.path.join(dirpath, name)
+                    try:
+                        if now - os.path.getmtime(path) >= ttl_s:
+                            os.unlink(path)
+                            removed += 1
+                    except OSError:
+                        continue
+        return removed
 
     def verify(self) -> List[str]:
         """Re-hash every live reference; returns corrupt keys."""
@@ -336,6 +427,22 @@ class ArtifactStore:
             except StoreCorruption:
                 bad.append(key)
         return bad
+
+
+def open_store(root: str, compress_level: int = 6) -> Any:
+    """Open whatever store lives at *root*.
+
+    A root carrying the ``shards.json`` marker opens as a
+    :class:`repro.service.shards.ShardedStore`; anything else (including
+    a fresh directory) opens as a plain single-root
+    :class:`ArtifactStore`.  This is what the CLI uses so ``farm`` and
+    ``service`` subcommands transparently accept either layout.
+    """
+    from repro.service.shards import SHARDS_MARKER, ShardedStore
+
+    if os.path.exists(os.path.join(root, SHARDS_MARKER)):
+        return ShardedStore(root, compress_level=compress_level)
+    return ArtifactStore(root, compress_level=compress_level)
 
 
 def _referenced_digests(meta: dict) -> Iterator[str]:

@@ -1,0 +1,451 @@
+"""The sharded content-addressed store: N roots behind one ring.
+
+Layout under the sharded root::
+
+    shards.json            ring configuration (shard names + vnodes)
+    shard-00/              a plain :class:`ArtifactStore`
+    shard-01/
+    ...
+
+Blocks are placed by their own SHA-256 digest on a consistent-hash
+ring (:mod:`repro.service.ring`); artifact meta records are placed by
+the SHA-256 of their key.  Everything inherits the single-shard store's
+crash-safety discipline — write-temp-then-``os.replace`` for blocks and
+records — so concurrent writers (the service's workers) never expose a
+partially written block to readers.
+
+Cross-shard healing:
+
+- **read repair**: a block or record missing (or corrupt) on its home
+  shard is searched for on the other shards and, when a verified copy
+  is found, copied home before being served;
+- **scrub** walks every live reference, repairing what it can and
+  reporting what it cannot;
+- **rebalance** re-rings the store onto a new shard count, moving each
+  block/record to its new home (consistent hashing keeps the moved
+  fraction near ``1/N``).
+
+The degenerate one-shard store behaves exactly like a plain
+:class:`ArtifactStore` with an extra directory level, which is how the
+existing local ``farm run`` path runs unchanged on either layout.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterator, List, Optional
+
+from repro.farm import codec
+from repro.farm.store import (
+    STALE_TMP_S,
+    ArtifactStore,
+    GCStats,
+    StoreCorruption,
+    StoreStats,
+    _atomic_write,
+    _referenced_digests,
+    build_record,
+)
+from repro.observe import hooks
+from repro.service.ring import HashRing
+
+SHARDS_MARKER = "shards.json"
+
+_FORMAT = "repro-farm-shards"
+_VERSION = 1
+
+
+def shard_names(count: int) -> List[str]:
+    return ["shard-%02d" % index for index in range(count)]
+
+
+@dataclass
+class ShardedStoreStats(StoreStats):
+    """Aggregate store stats plus the per-shard breakdown."""
+
+    #: shard name -> {objects, blocks, stored_bytes, unique_bytes,
+    #: logical_bytes, dedup_ratio, hits, repairs, hit_rate}
+    shards: Dict[str, dict] = field(default_factory=dict)
+
+    def to_json(self) -> dict:
+        report = super().to_json()
+        report["shards"] = {name: dict(entry)
+                           for name, entry in sorted(self.shards.items())}
+        return report
+
+
+@dataclass
+class RebalanceStats:
+    """What :meth:`ShardedStore.rebalance` moved."""
+
+    moved_blocks: int = 0
+    moved_bytes: int = 0
+    moved_records: int = 0
+    shards: int = 0
+    dry_run: bool = False
+
+    def to_json(self) -> dict:
+        return {"moved_blocks": self.moved_blocks,
+                "moved_bytes": self.moved_bytes,
+                "moved_records": self.moved_records,
+                "shards": self.shards,
+                "dry_run": self.dry_run}
+
+
+@dataclass
+class ScrubStats:
+    """What a :meth:`ShardedStore.scrub` pass found and fixed."""
+
+    objects: int = 0
+    blocks_checked: int = 0
+    repaired_blocks: int = 0
+    repaired_records: int = 0
+    #: keys with at least one unrecoverable block
+    lost_keys: List[str] = field(default_factory=list)
+
+    def to_json(self) -> dict:
+        return {"objects": self.objects,
+                "blocks_checked": self.blocks_checked,
+                "repaired_blocks": self.repaired_blocks,
+                "repaired_records": self.repaired_records,
+                "lost_keys": sorted(self.lost_keys)}
+
+
+class ShardedStore:
+    """A content-addressed store spread over N shard roots.
+
+    Drop-in for :class:`ArtifactStore` wherever the farm runner or the
+    service touches a store: ``put/get/contains/kind_of/delete/keys/
+    stats/gc/verify`` all exist with the same semantics.
+    """
+
+    def __init__(self, root: str, shards: Optional[int] = None,
+                 vnodes: int = 128, compress_level: int = 6) -> None:
+        self.root = root
+        marker = os.path.join(root, SHARDS_MARKER)
+        if os.path.exists(marker):
+            with open(marker) as handle:
+                config = json.load(handle)
+            if config.get("format") != _FORMAT:
+                raise StoreCorruption("%s is not a sharded store marker"
+                                      % marker)
+            names = list(config["shards"])
+            vnodes = int(config.get("vnodes", vnodes))
+            if shards is not None and shards != len(names):
+                raise ValueError(
+                    "store has %d shards; use rebalance(shards=%d) to "
+                    "change the ring" % (len(names), shards))
+        else:
+            names = shard_names(shards if shards is not None else 2)
+            os.makedirs(root, exist_ok=True)
+            _atomic_write(marker, json.dumps(
+                {"format": _FORMAT, "version": _VERSION,
+                 "shards": names, "vnodes": vnodes},
+                sort_keys=True).encode("utf-8"))
+        self.compress_level = compress_level
+        self.ring = HashRing(names, vnodes=vnodes)
+        self._stores = {name: ArtifactStore(os.path.join(root, name),
+                                            compress_level=compress_level)
+                        for name in names}
+        # session counters behind the per-shard hit rate the service
+        # reports (a fresh CLI process starts from zero)
+        self.block_hits = {name: 0 for name in names}
+        self.block_repairs = {name: 0 for name in names}
+        self.record_repairs = {name: 0 for name in names}
+
+    @property
+    def shards(self) -> List[str]:
+        return list(self.ring.shards)
+
+    def shard_store(self, name: str) -> ArtifactStore:
+        return self._stores[name]
+
+    # -- placement ---------------------------------------------------------
+
+    def home_of_block(self, digest: str) -> str:
+        return self.ring.shard_for(digest)
+
+    def home_of_key(self, key: str) -> str:
+        return self.ring.shard_for(codec.sha256_hex(key.encode("utf-8")))
+
+    def _others(self, home: str) -> Iterator[ArtifactStore]:
+        for name in self.ring.shards:
+            if name != home:
+                yield self._stores[name]
+
+    # -- blocks ------------------------------------------------------------
+
+    def has_block(self, digest: str) -> bool:
+        if self._stores[self.home_of_block(digest)].has_block(digest):
+            return True
+        return any(store.has_block(digest)
+                   for store in self._others(self.home_of_block(digest)))
+
+    def write_block(self, digest: str, data: bytes) -> None:
+        self._stores[self.home_of_block(digest)].write_block(digest, data)
+
+    def read_block(self, digest: str) -> bytes:
+        """Verified read with cross-shard read repair.
+
+        The home shard is authoritative; on a miss or a corrupt copy
+        (which the underlying read drops from disk) every other shard
+        is searched for a verified replica, which is copied home before
+        being returned.
+        """
+        home = self.home_of_block(digest)
+        try:
+            data = self._stores[home].read_block(digest)
+        except StoreCorruption:
+            data = self._repair_block(home, digest)
+        else:
+            self.block_hits[home] += 1
+        return data
+
+    def _repair_block(self, home: str, digest: str) -> bytes:
+        obs = hooks.OBS
+        for store in self._others(home):
+            if not store.has_block(digest):
+                continue
+            try:
+                data = store.read_block(digest)
+            except StoreCorruption:
+                continue  # that copy was damaged too (and was dropped)
+            self._stores[home].write_block(digest, data)
+            self.block_repairs[home] += 1
+            if obs.enabled:
+                obs.count("service.store.read_repairs")
+            return data
+        raise StoreCorruption("block %s missing from every shard" % digest)
+
+    # -- records -----------------------------------------------------------
+
+    def put(self, key: str, obj: Any, kind: str = "") -> str:
+        kind, meta, blocks = codec.encode(obj, kind)
+        for digest, data in blocks.items():
+            self.write_block(digest, data)
+        self.put_record(key, build_record(key, kind, meta, blocks))
+        return key
+
+    def put_record(self, key: str, record: dict) -> None:
+        self._stores[self.home_of_key(key)].put_record(key, record)
+
+    def get_record(self, key: str) -> dict:
+        home = self.home_of_key(key)
+        try:
+            return self._stores[home].get_record(key)
+        except KeyError:
+            pass
+        for store in self._others(home):
+            try:
+                record = store.get_record(key)
+            except KeyError:
+                continue
+            # read repair: install the stray record at its home shard
+            self._stores[home].put_record(key, record)
+            self.record_repairs[home] += 1
+            return record
+        raise KeyError(key)
+
+    def get(self, key: str) -> Any:
+        record = self.get_record(key)
+        return codec.decode(record["kind"], record["meta"], self.read_block)
+
+    def contains(self, key: str) -> bool:
+        if self._stores[self.home_of_key(key)].contains(key):
+            return True
+        return any(store.contains(key)
+                   for store in self._others(self.home_of_key(key)))
+
+    def kind_of(self, key: str) -> str:
+        return self.get_record(key)["kind"]
+
+    def delete(self, key: str) -> bool:
+        # strays from pre-rebalance layouts must die with the home copy
+        return any([store.remove_record(key)
+                    for store in self._stores.values()])
+
+    def keys(self) -> Iterator[str]:
+        seen = set()
+        for store in self._stores.values():
+            for key in store.keys():
+                if key not in seen:
+                    seen.add(key)
+                    yield key
+
+    # -- maintenance -------------------------------------------------------
+
+    def stats(self) -> ShardedStoreStats:
+        stats = ShardedStoreStats()
+        per_shard = {
+            name: {"objects": 0, "blocks": 0, "stored_bytes": 0,
+                   "unique_bytes": 0, "logical_bytes": 0,
+                   "hits": self.block_hits[name],
+                   "repairs": self.block_repairs[name]}
+            for name in self.ring.shards
+        }
+        unique: Dict[str, int] = {}
+        for key in self.keys():
+            record = self.get_record(key)
+            stats.objects += 1
+            kind = record["kind"]
+            stats.objects_by_kind[kind] = \
+                stats.objects_by_kind.get(kind, 0) + 1
+            stats.logical_bytes += record.get("logical_bytes", 0)
+            per_shard[self.home_of_key(key)]["objects"] += 1
+            for digest, size in record.get("block_sizes", {}).items():
+                unique[digest] = size
+                per_shard[self.home_of_block(digest)]["logical_bytes"] \
+                    += size
+        for name, store in self._stores.items():
+            for digest in store.block_digests():
+                stats.blocks += 1
+                per_shard[name]["blocks"] += 1
+                size = store.block_size(digest)
+                stats.stored_bytes += size
+                per_shard[name]["stored_bytes"] += size
+        for digest, size in unique.items():
+            home = self.home_of_block(digest)
+            if self._stores[home].has_block(digest):
+                stats.unique_bytes += size
+                stats.compressed_bytes += self._stores[home].block_size(digest)
+                per_shard[home]["unique_bytes"] += size
+        for name, entry in per_shard.items():
+            entry["dedup_ratio"] = round(
+                entry["logical_bytes"] / entry["unique_bytes"], 3) \
+                if entry["unique_bytes"] else 1.0
+            lookups = entry["hits"] + entry["repairs"]
+            entry["hit_rate"] = round(entry["hits"] / lookups, 3) \
+                if lookups else 1.0
+        stats.shards = per_shard
+        return stats
+
+    def gc(self, dry_run: bool = False,
+           tmp_ttl_s: float = STALE_TMP_S) -> GCStats:
+        """Mark-sweep over every shard against the global live set.
+
+        A live block is kept on *any* shard it appears on (a stray
+        replica of a live block is future read-repair fodder, and
+        rebalance is the tool that canonicalizes placement, not gc).
+        """
+        live: set = set()
+        for key in self.keys():
+            live.update(_referenced_digests(self.get_record(key)["meta"]))
+        result = GCStats(dry_run=dry_run)
+        for store in self._stores.values():
+            for digest in list(store.block_digests()):
+                if digest in live:
+                    result.live_blocks += 1
+                    continue
+                result.freed_bytes += store.block_size(digest)
+                if not dry_run:
+                    store.remove_block(digest)
+                result.removed_blocks += 1
+            if not dry_run:
+                store.sweep_tmp(tmp_ttl_s)
+        return result
+
+    def verify(self) -> List[str]:
+        """Re-hash every live reference; returns unrecoverable keys.
+
+        Unlike the single-shard verify this *may heal the store*: a
+        reference satisfied by read repair from another shard counts as
+        good (and leaves a fresh home copy behind).
+        """
+        bad: List[str] = []
+        for key in sorted(self.keys()):
+            record = self.get_record(key)
+            try:
+                for digest in set(_referenced_digests(record["meta"])):
+                    self.read_block(digest)
+            except StoreCorruption:
+                bad.append(key)
+        return bad
+
+    def scrub(self) -> ScrubStats:
+        """Walk every artifact, read-repairing what the shards allow.
+
+        The per-key loop is exactly a verifying read of each referenced
+        block through the repair path; the report separates healed
+        damage (``repaired_*``) from real loss (``lost_keys``).
+        """
+        report = ScrubStats()
+        repairs_before = dict(self.block_repairs)
+        records_before = dict(self.record_repairs)
+        for key in sorted(self.keys()):
+            report.objects += 1
+            record = self.get_record(key)
+            lost = False
+            for digest in set(_referenced_digests(record["meta"])):
+                report.blocks_checked += 1
+                try:
+                    self.read_block(digest)
+                except StoreCorruption:
+                    lost = True
+            if lost:
+                report.lost_keys.append(key)
+        report.repaired_blocks = sum(
+            self.block_repairs[name] - repairs_before[name]
+            for name in self.ring.shards)
+        report.repaired_records = sum(
+            self.record_repairs[name] - records_before[name]
+            for name in self.ring.shards)
+        return report
+
+    def rebalance(self, shards: Optional[int] = None,
+                  dry_run: bool = False) -> RebalanceStats:
+        """Move every block and record to its home under a new ring.
+
+        With *shards* the ring is regrown/shrunk to that count first
+        (consistent hashing keeps movement near the minimum); without
+        it the pass just canonicalizes stray placements left by read
+        repair or crashed rebalances.
+        """
+        old_names = self.ring.shards
+        new_names = shard_names(shards) if shards is not None else old_names
+        new_ring = HashRing(new_names, vnodes=self.ring.vnodes)
+        stores = dict(self._stores)
+        for name in new_names:
+            if name not in stores:
+                stores[name] = ArtifactStore(
+                    os.path.join(self.root, name),
+                    compress_level=self.compress_level)
+        result = RebalanceStats(shards=len(new_names), dry_run=dry_run)
+        for name, store in sorted(stores.items()):
+            for digest in list(store.block_digests()):
+                home = new_ring.shard_for(digest)
+                if home == name:
+                    continue
+                result.moved_blocks += 1
+                if dry_run:
+                    continue
+                data = store.read_block(digest)  # verified before the move
+                result.moved_bytes += len(data)
+                stores[home].write_block(digest, data)
+                store.remove_block(digest)
+            for key in list(store.keys()):
+                home = new_ring.shard_for(
+                    codec.sha256_hex(key.encode("utf-8")))
+                if home == name:
+                    continue
+                result.moved_records += 1
+                if dry_run:
+                    continue
+                stores[home].put_record(key, store.get_record(key))
+                store.remove_record(key)
+        if dry_run:
+            return result
+        # commit the new ring only after every object reached its home,
+        # so a crash mid-move leaves strays the read-repair path finds
+        _atomic_write(os.path.join(self.root, SHARDS_MARKER), json.dumps(
+            {"format": _FORMAT, "version": _VERSION,
+             "shards": new_names, "vnodes": self.ring.vnodes},
+            sort_keys=True).encode("utf-8"))
+        self.ring = new_ring
+        self._stores = {name: stores[name] for name in new_names}
+        for counter in (self.block_hits, self.block_repairs,
+                        self.record_repairs):
+            for name in new_names:
+                counter.setdefault(name, 0)
+        return result

@@ -1,0 +1,161 @@
+"""The service worker: lease, execute, upload, complete — forever.
+
+A worker is a plain process (no asyncio) that long-polls ``lease``,
+unpickles the job payload, runs it, uploads the result through
+``put-artifact``, and reports ``complete``.  While the job runs, a
+background thread heartbeats the lease on a **second** connection so a
+long-running checkpoint replay cannot time out merely for being slow —
+only a dead or wedged worker loses its lease.
+
+Failure model: if the worker dies mid-job the heartbeats stop, the
+server's reaper expires the lease, and the job re-queues for another
+worker.  If the worker survives but ``complete`` races a reaped lease,
+the 409 is logged and dropped — the re-run elsewhere is authoritative,
+and the content-addressed store makes the duplicate artifact harmless.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+from typing import Optional
+
+from repro.farm.runner import _job_icount
+from repro.observe import hooks
+from repro.service.client import (
+    ServiceClient,
+    ServiceError,
+    ServiceUnavailable,
+    decode_payload,
+)
+
+
+class _Heartbeat:
+    """Keeps one lease alive from a daemon thread until stopped."""
+
+    def __init__(self, client: ServiceClient, lease_id: str,
+                 interval_s: float) -> None:
+        self._client = client
+        self._lease_id = lease_id
+        self._interval = max(0.05, interval_s)
+        self._stop = threading.Event()
+        self.lost = False
+        self._thread = threading.Thread(target=self._run, daemon=True)
+
+    def _run(self) -> None:
+        while not self._stop.wait(self._interval):
+            try:
+                self._client.heartbeat(self._lease_id)
+            except ServiceError:
+                self.lost = True  # lease reaped: stop burning the wire
+                return
+            except ServiceUnavailable:
+                pass  # keep trying; the lease may still be alive
+
+    def __enter__(self) -> "_Heartbeat":
+        self._thread.start()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self._stop.set()
+        self._thread.join(5.0)
+
+
+class ServiceWorker:
+    """Pulls and executes jobs until stopped or the queue stays idle."""
+
+    def __init__(self, host: str, port: int, name: str = "",
+                 poll_s: float = 1.0, idle_exit_s: float = 0.0) -> None:
+        self.name = name or ("worker-%d" % os.getpid())
+        self.client = ServiceClient(host, port, client_id=self.name)
+        #: dedicated connection for heartbeats (the main socket is busy
+        #: with put-artifact/complete while a job runs)
+        self.pulse = ServiceClient(host, port,
+                                   client_id=self.name + "/hb")
+        self.poll_s = poll_s
+        #: exit after this long with no work (0 = run forever)
+        self.idle_exit_s = idle_exit_s
+        self.jobs_done = 0
+        self.jobs_failed = 0
+        self._stop = threading.Event()
+
+    def stop(self) -> None:
+        self._stop.set()
+
+    def run(self) -> int:
+        """The worker loop; returns the number of jobs executed."""
+        idle_since: Optional[float] = None
+        while not self._stop.is_set():
+            try:
+                grant = self.client.lease(self.name, wait_s=self.poll_s)
+            except ServiceUnavailable:
+                if self.idle_exit_s:
+                    return self.jobs_done
+                time.sleep(self.poll_s)
+                continue
+            if grant is None:
+                now = time.monotonic()
+                idle_since = idle_since or now
+                if self.idle_exit_s and now - idle_since > self.idle_exit_s:
+                    return self.jobs_done
+                continue
+            idle_since = None
+            self._execute(grant)
+        return self.jobs_done
+
+    def _execute(self, grant: dict) -> None:
+        lease_id = grant["lease_id"]
+        heartbeat_s = float(grant.get("heartbeat_s", 1.0))
+        obs = hooks.OBS
+        start = time.perf_counter()
+        with _Heartbeat(self.pulse, lease_id, heartbeat_s) as pulse:
+            ok, error, icount = True, "", None
+            try:
+                fn, args, kwargs = decode_payload(grant["payload"])
+                result = fn(*args, **kwargs)
+                icount = _job_icount(result)
+                result_key = grant.get("result_key") or grant.get("memo_key")
+                if result_key:
+                    self.client.put_artifact(result_key, result,
+                                             grant.get("kind", ""))
+            except Exception as exc:
+                ok = False
+                error = "%s: %s" % (type(exc).__name__, exc)
+                if obs.enabled:
+                    obs.count("service.worker.errors")
+        wall = time.perf_counter() - start
+        if pulse.lost:
+            # the lease was reaped under us: the job re-ran elsewhere,
+            # so our completion (and artifact) must not be reported
+            if obs.enabled:
+                obs.count("service.worker.lost_leases")
+            return
+        try:
+            self.client.complete(lease_id, ok=ok, error=error, wall_s=wall,
+                                 icount=icount, worker=self.name)
+        except ServiceError as exc:
+            if exc.code != 409:  # 409 = lease reaped mid-completion
+                raise
+            if obs.enabled:
+                obs.count("service.worker.lost_leases")
+            return
+        if ok:
+            self.jobs_done += 1
+        else:
+            self.jobs_failed += 1
+        if obs.enabled:
+            obs.count("service.worker.jobs")
+            obs.observe("service.worker.wall_s", wall)
+
+
+def worker_main(host: str, port: int, name: str = "", poll_s: float = 1.0,
+                idle_exit_s: float = 0.0) -> int:
+    """Process entry point (used by ``repro service worker`` and tests)."""
+    worker = ServiceWorker(host, port, name=name, poll_s=poll_s,
+                           idle_exit_s=idle_exit_s)
+    try:
+        return worker.run()
+    finally:
+        worker.client.close()
+        worker.pulse.close()
