@@ -1,0 +1,159 @@
+"""Snapshot subsystem cost model: capture/restore latency, dedup.
+
+Three measurements for the self-checkpointing VM (DESIGN.md §9):
+
+- **capture / restore latency**: wall clock to suspend a mid-run
+  machine into a `MachineSnapshot` and to rebuild a bit-identical
+  machine from it, plus the serialized footprint (pages + canonical
+  state blob).
+- **cold vs incremental store cost**: bytes the content-addressed
+  store actually gains when a second checkpoint of the same run lands
+  a few quanta after the first — page-block dedup should make the
+  increment a small fraction of the cold cost.
+- **suspend/resume tax**: end-to-end wall clock of a run that
+  checkpoints itself several times (through the canonical encoding)
+  vs the straight run, with the digests asserted equal — the price of
+  preemptibility on an uninterrupted-equivalent execution.
+
+Numbers are host-dependent, so nothing gates CI; the lockstep job
+covers correctness.  A digest-equality assert keeps the bench honest.
+"""
+
+import time
+
+from conftest import FAST, publish
+
+from repro.analysis import Table
+from repro.farm import ArtifactStore
+from repro.machine.loader import load_elf
+from repro.machine.machine import Machine
+from repro.snapshot import MachineSnapshot, capture, restore, snapshot_digest
+from repro.workloads import get_app
+
+SUSPEND_AT = 60_000
+INCREMENT = 30_000
+HOPS = 2 if FAST else 4
+REPEATS = 3 if FAST else 10
+
+
+def _boot(image, seed=0):
+    machine = Machine(seed=seed)
+    load_elf(machine, image)
+    return machine
+
+
+def _wire(snapshot):
+    return MachineSnapshot.from_state_bytes(
+        {addr: (prot, bytes(data))
+         for addr, (prot, data) in snapshot.pages.items()},
+        snapshot.state_bytes())
+
+
+def bench_capture_restore(image):
+    machine = _boot(image)
+    assert machine.run(max_instructions=SUSPEND_AT).kind == "stopped"
+
+    started = time.perf_counter()
+    for _ in range(REPEATS):
+        snapshot = capture(machine)
+    capture_s = (time.perf_counter() - started) / REPEATS
+
+    started = time.perf_counter()
+    for _ in range(REPEATS):
+        resumed = restore(_wire(snapshot))
+    restore_s = (time.perf_counter() - started) / REPEATS
+    assert snapshot_digest(capture(resumed)) == snapshot_digest(snapshot)
+
+    footprint = snapshot.memory_bytes() + len(snapshot.state_bytes())
+    return capture_s, restore_s, footprint, len(snapshot.pages)
+
+
+def bench_incremental_store(root, image):
+    from repro.farm.codec import encode
+
+    machine = _boot(image)
+    machine.run(max_instructions=SUSPEND_AT)
+    store = ArtifactStore(str(root))
+    early = capture(machine)
+    store.put("ck0", early, kind="snapshot")
+    cold_bytes = store.stats().unique_bytes
+
+    machine.run(max_instructions=SUSPEND_AT + INCREMENT)
+    late = capture(machine)
+    store.put("ck1", late, kind="snapshot")
+    incr_bytes = store.stats().unique_bytes - cold_bytes
+
+    # page-level sharing, separated from the per-snapshot state blob
+    # (the state blob is inherently unique to each checkpoint)
+    _, early_meta, _ = encode(early, kind="snapshot")
+    _, late_meta, _ = encode(late, kind="snapshot")
+    early_pages = {digest for _, _, digest in early_meta["pages"]}
+    late_pages = [digest for _, _, digest in late_meta["pages"]]
+    shared = sum(1 for digest in late_pages if digest in early_pages)
+    page_share = shared / len(late_pages)
+    return cold_bytes, incr_bytes, page_share
+
+
+def bench_suspend_resume_tax(image):
+    straight = _boot(image)
+    started = time.perf_counter()
+    straight.run()
+    straight_s = time.perf_counter() - started
+    total = straight.executed_total
+
+    started = time.perf_counter()
+    machine = _boot(image)
+    for hop in range(1, HOPS + 1):
+        status = machine.run(max_instructions=hop * total // (HOPS + 1))
+        assert status.kind == "stopped"
+        machine = restore(_wire(capture(machine)))
+    machine.run()
+    hopped_s = time.perf_counter() - started
+    assert machine.executed_total == total
+    assert machine.mem.snapshot() == straight.mem.snapshot()
+    return straight_s, hopped_s, total
+
+
+def test_bench_snapshot(tmp_path):
+    image = get_app("505.mcf_r").build("test" if FAST else "train")
+    capture_s, restore_s, footprint, pages = bench_capture_restore(image)
+    cold_bytes, incr_bytes, page_share = bench_incremental_store(
+        tmp_path, image)
+    straight_s, hopped_s, total = bench_suspend_resume_tax(image)
+
+    table = Table(
+        title="Self-checkpointing VM: capture/restore cost",
+        headers=["measurement", "value"],
+    )
+    table.add_row("suspend point (insns)", str(SUSPEND_AT))
+    table.add_row("snapshot pages", str(pages))
+    table.add_row("snapshot footprint (KB)", "%.0f" % (footprint / 1024))
+    table.add_row("capture latency (ms)", "%.2f" % (capture_s * 1e3))
+    table.add_row("restore latency (ms)", "%.2f" % (restore_s * 1e3))
+    table.add_row("cold store cost (KB)", "%.0f" % (cold_bytes / 1024))
+    table.add_row("incremental +%dk insns (KB)" % (INCREMENT // 1000),
+                  "%.0f" % (incr_bytes / 1024))
+    table.add_row("incremental / cold",
+                  "%.0f%%" % (100.0 * incr_bytes / cold_bytes))
+    table.add_row("page blocks shared", "%.0f%%" % (100.0 * page_share))
+    table.add_row("straight run (s)", "%.2f" % straight_s)
+    table.add_row("%d-hop suspend/resume run (s)" % HOPS,
+                  "%.2f" % hopped_s)
+    table.add_row("suspend/resume tax",
+                  "%.1f%%" % (100.0 * (hopped_s - straight_s) / straight_s))
+    text = table.render()
+    text += "\ncapture_ms: %.3f" % (capture_s * 1e3)
+    text += "\nrestore_ms: %.3f" % (restore_s * 1e3)
+    text += "\nincremental_fraction: %.3f" % (incr_bytes / cold_bytes)
+    text += "\npage_share: %.3f" % page_share
+    publish("bench_snapshot", text)
+    # dedup sanity (not a perf gate): an incremental checkpoint must
+    # reuse the overwhelming majority of the prior one's page blocks
+    assert page_share > 0.9
+
+
+if __name__ == "__main__":
+    import pytest
+    import sys
+
+    sys.exit(pytest.main([__file__, "-x", "-q", "-s"]))

@@ -173,7 +173,8 @@ def _cmd_verify_fuzz(args: argparse.Namespace) -> int:
 
     summary = fuzz(time_budget=args.time_budget, start_seed=args.start_seed,
                    max_cases=args.max_cases, seed=args.seed,
-                   minimize=not args.no_minimize)
+                   minimize=not args.no_minimize,
+                   checkpoint_path=args.checkpoint)
     print("cases run: %d  invalid: %d  divergences: %d"
           % (summary.cases_run, summary.invalid, len(summary.failures)))
     for outcome in summary.failures:
@@ -207,6 +208,21 @@ def _cmd_verify_corpus(args: argparse.Namespace) -> int:
     return 1 if bad else 0
 
 
+def _cmd_verify_lockstep(args: argparse.Namespace) -> int:
+    from repro.verify import lockstep_corpus
+    from repro.verify.corpus import default_corpus_dir
+
+    directory = args.corpus or default_corpus_dir()
+    sweep = lockstep_corpus(directory, seed=args.seed, hops=args.hops,
+                            hop_seed=args.hop_seed,
+                            mt_count=args.mt_cases, epochs=args.epochs)
+    for name, outcome in sweep.outcomes:
+        print(outcome.summary())
+    print("lockstep: %d workloads, %d failing"
+          % (len(sweep.outcomes), len(sweep.failures)))
+    return 1 if sweep.failures else 0
+
+
 def _campaign_images(args: argparse.Namespace) -> dict:
     from repro.workloads import get_app
 
@@ -226,7 +242,9 @@ def _campaign_validations(args: argparse.Namespace) -> list:
 
 
 def _cmd_farm_run(args: argparse.Namespace) -> int:
-    from repro.farm import open_store
+    import signal
+
+    from repro.farm import FarmRunner, open_store
     from repro.simpoint import run_pinpoints_campaign
 
     if args.shards:
@@ -236,18 +254,44 @@ def _cmd_farm_run(args: argparse.Namespace) -> int:
         store = open_store(args.store)
     images = _campaign_images(args)
     validations = _campaign_validations(args)
+    runner = None
+    if args.preemptible:
+        from repro.snapshot import preempt
+
+        preempt.reset()
+        runner = FarmRunner(store, jobs=args.jobs,
+                            manifest_path=args.manifest, preemptible=True)
+
+        def _drain(signum, frame):
+            sys.stderr.write("SIGTERM: draining — checkpointing the "
+                             "in-flight job\n")
+            preempt.request()
+
+        signal.signal(signal.SIGTERM, _drain)
     outcomes = run_pinpoints_campaign(
         images, store,
         jobs=args.jobs,
         manifest_path=args.manifest,
+        runner=runner,
         slice_size=args.slice_size,
         warmup=args.warmup,
         max_k=args.max_k,
         max_alternates=args.alternates,
         seed=args.seed,
         validations=validations,
+        preemptible=args.preemptible,
     )
-    return _report_campaign(outcomes, args.manifest)
+    code = _report_campaign(outcomes, args.manifest)
+    if runner is not None:
+        interrupted = sorted(
+            name for name, state in runner.report.states.items()
+            if state in ("preempted", "deferred"))
+        if interrupted:
+            sys.stderr.write(
+                "campaign preempted (%d jobs deferred); re-run the same "
+                "command to resume from the store\n" % len(interrupted))
+            return 75  # EX_TEMPFAIL: partial, resumable
+    return code
 
 
 def _report_campaign(outcomes: dict, manifest_path: Optional[str]) -> int:
@@ -255,7 +299,12 @@ def _report_campaign(outcomes: dict, manifest_path: Optional[str]) -> int:
 
     failed_fidelity = False
     for name, outcome in outcomes.items():
-        validation = outcome.validations["elfie"]
+        validation = outcome.validations.get("elfie")
+        if validation is None:
+            print("%s: %d regions, %d ELFies (validation deferred)"
+                  % (name, len(outcome.result.primary_regions),
+                     len(outcome.result.elfies)))
+            continue
         print("%s: %d regions, %d ELFies, |error| %.2f%%, coverage %.0f%%"
               % (name, len(outcome.result.primary_regions),
                  len(outcome.result.elfies),
@@ -323,11 +372,18 @@ def _cmd_farm_stats(args: argparse.Namespace) -> int:
 def _cmd_farm_gc(args: argparse.Namespace) -> int:
     from repro.farm import open_store
 
-    result = open_store(args.store).gc(dry_run=args.dry_run)
+    result = open_store(args.store).gc(
+        dry_run=args.dry_run,
+        prune_snapshots=args.prune_snapshots,
+        snapshot_roots=args.snapshot_root or ())
     verb = "would remove" if args.dry_run else "removed"
     print("%s %d blocks (%d bytes), %d live"
           % (verb, result.removed_blocks, result.freed_bytes,
              result.live_blocks))
+    if args.prune_snapshots:
+        print("%s %d snapshot checkpoints (%d roots kept)"
+              % (verb, result.removed_snapshots,
+                 len(args.snapshot_root or ())))
     return 0
 
 
@@ -374,7 +430,8 @@ def _cmd_service_worker(args: argparse.Namespace) -> int:
     from repro.service import worker_main
 
     done = worker_main(args.host, args.port, name=args.name,
-                       poll_s=args.poll, idle_exit_s=args.idle_exit)
+                       poll_s=args.poll, idle_exit_s=args.idle_exit,
+                       drain_timeout_s=args.drain_timeout)
     sys.stderr.write("worker exiting after %d jobs\n" % done)
     return 0
 
@@ -407,6 +464,73 @@ def _cmd_service_status(args: argparse.Namespace) -> int:
     stats.pop("ok", None)
     stats.pop("id", None)
     print(json.dumps(stats, indent=2, sort_keys=True))
+    return 0
+
+
+def _cmd_snapshot_save(args: argparse.Namespace) -> int:
+    from repro.farm import open_store
+    from repro.machine.loader import load_elf
+    from repro.machine.machine import Machine
+    from repro.snapshot import capture, snapshot_info
+
+    with open(args.binary, "rb") as handle:
+        image = handle.read()
+    machine = Machine(seed=args.seed)
+    load_elf(machine, image, argv=args.argv or None)
+    status = machine.run(max_instructions=args.at)
+    if status.kind != "stopped":
+        sys.stderr.write("workload finished (%s %s) before %d instructions; "
+                         "nothing to suspend\n"
+                         % (status.kind, status.detail, args.at))
+        return 1
+    snapshot = capture(machine, extra={"kind": "cli",
+                                       "binary": args.binary,
+                                       "seed": args.seed})
+    store = open_store(args.store)
+    store.put(args.key, snapshot, kind="snapshot")
+    info = snapshot_info(snapshot)
+    print("saved %s at %d instructions (%d pages, %d bytes, digest %s)"
+          % (args.key, info["executed_total"], info["pages"],
+             info["memory_bytes"], info["digest"][:16]))
+    return 0
+
+
+def _cmd_snapshot_resume(args: argparse.Namespace) -> int:
+    from repro.farm import open_store
+    from repro.snapshot import restore, snapshot_info
+
+    store = open_store(args.store)
+    if not store.contains(args.key):
+        sys.stderr.write("no snapshot %r in %s\n" % (args.key, args.store))
+        return 1
+    snapshot = store.get(args.key)
+    info = snapshot_info(snapshot)
+    machine = restore(snapshot)
+    before = machine.executed_total
+    if args.steps:
+        status = machine.run(max_instructions=before + args.steps)
+    else:
+        status = machine.run()
+    print("resumed %s from %d instructions (digest %s)"
+          % (args.key, before, info["digest"][:16]))
+    print("status: %s %s" % (status.kind, status.detail))
+    print("instructions: %d (+%d since resume)"
+          % (machine.executed_total, machine.executed_total - before))
+    if status.kind == "exit":
+        return status.code
+    return 0 if status.kind == "stopped" else 128
+
+
+def _cmd_snapshot_info(args: argparse.Namespace) -> int:
+    from repro.farm import open_store
+    from repro.snapshot import snapshot_info
+
+    store = open_store(args.store)
+    if not store.contains(args.key):
+        sys.stderr.write("no snapshot %r in %s\n" % (args.key, args.store))
+        return 1
+    print(json.dumps(snapshot_info(store.get(args.key)), indent=2,
+                     sort_keys=True))
     return 0
 
 
@@ -499,7 +623,29 @@ def build_parser() -> argparse.ArgumentParser:
                              help="pin minimized failing seeds to the corpus")
     verify_fuzz.add_argument("--corpus", default=None,
                              help="corpus directory (default tests/corpus)")
+    verify_fuzz.add_argument("--checkpoint", metavar="FILE", default=None,
+                             help="persist fuzz progress here; a preempted "
+                                  "run resumes from the last finished case")
     verify_fuzz.set_defaults(func=_cmd_verify_fuzz)
+
+    verify_lockstep = verify_sub.add_parser(
+        "lockstep", help="straight vs suspend/resume digest lockstep over "
+                         "the corpus + MT fuzzer cases")
+    verify_lockstep.add_argument("--corpus", default=None,
+                                 help="corpus directory "
+                                      "(default tests/corpus)")
+    verify_lockstep.add_argument("--seed", type=int, default=0)
+    verify_lockstep.add_argument("--hops", type=int, default=2,
+                                 help="suspend/resume round-trips per "
+                                      "workload")
+    verify_lockstep.add_argument("--hop-seed", type=int, default=0,
+                                 help="seed for the pseudo-random suspend "
+                                      "points")
+    verify_lockstep.add_argument("--mt-cases", type=int, default=2,
+                                 help="generated multithreaded workloads to "
+                                      "include")
+    verify_lockstep.add_argument("--epochs", type=int, default=16)
+    verify_lockstep.set_defaults(func=_cmd_verify_lockstep)
 
     verify_corpus = verify_sub.add_parser(
         "corpus", help="deterministically replay the regression corpus")
@@ -540,6 +686,9 @@ def build_parser() -> argparse.ArgumentParser:
     farm_run.add_argument("--shards", type=int, default=0, metavar="N",
                           help="create/open the store sharded across N "
                                "roots (default: plain single-root store)")
+    farm_run.add_argument("--preemptible", action="store_true",
+                          help="checkpoint running jobs on SIGTERM and exit "
+                               "75; rerun the same command to resume")
     farm_run.set_defaults(func=_cmd_farm_run)
 
     farm_stats = farm_sub.add_parser("stats",
@@ -554,6 +703,13 @@ def build_parser() -> argparse.ArgumentParser:
     farm_gc.add_argument("--store", default=".farm")
     farm_gc.add_argument("--dry-run", action="store_true",
                          help="report what would be swept without deleting")
+    farm_gc.add_argument("--prune-snapshots", action="store_true",
+                         help="also drop checkpoint artifacts not named "
+                              "by --snapshot-root")
+    farm_gc.add_argument("--snapshot-root", action="append", default=None,
+                         metavar="KEY",
+                         help="snapshot key to keep (repeatable); resumable "
+                              "jobs' checkpoints are roots")
     farm_gc.set_defaults(func=_cmd_farm_gc)
 
     farm_rebalance = farm_sub.add_parser(
@@ -601,6 +757,10 @@ def build_parser() -> argparse.ArgumentParser:
     service_worker.add_argument("--idle-exit", type=float, default=0.0,
                                 help="exit after this many idle seconds "
                                      "(0 = run forever)")
+    service_worker.add_argument("--drain-timeout", type=float, default=30.0,
+                                help="seconds after SIGTERM before the "
+                                     "in-flight lease is abandoned and the "
+                                     "worker force-exits (0 = wait forever)")
     service_worker.set_defaults(func=_cmd_service_worker)
 
     service_submit = service_sub.add_parser(
@@ -635,6 +795,40 @@ def build_parser() -> argparse.ArgumentParser:
     service_status.add_argument("--store", action="store_true",
                                 help="include per-shard store statistics")
     service_status.set_defaults(func=_cmd_service_status)
+
+    snapshot = sub.add_parser(
+        "snapshot", help="suspend, resume, and inspect machine checkpoints")
+    snapshot_sub = snapshot.add_subparsers(dest="snapshot_command",
+                                           required=True)
+
+    snapshot_save = snapshot_sub.add_parser(
+        "save", help="run a PX ELF to an instruction count and checkpoint")
+    snapshot_save.add_argument("--binary", required=True,
+                               help="PX ELF executable")
+    snapshot_save.add_argument("--at", type=int, required=True,
+                               help="suspend after this many instructions")
+    snapshot_save.add_argument("--key", required=True,
+                               help="store key for the checkpoint")
+    snapshot_save.add_argument("--store", default=".farm")
+    snapshot_save.add_argument("--seed", type=int, default=0)
+    snapshot_save.add_argument("--argv", action="append", default=None,
+                               help="guest argv entry (repeatable)")
+    snapshot_save.set_defaults(func=_cmd_snapshot_save)
+
+    snapshot_resume = snapshot_sub.add_parser(
+        "resume", help="restore a checkpoint and continue running")
+    snapshot_resume.add_argument("--key", required=True)
+    snapshot_resume.add_argument("--store", default=".farm")
+    snapshot_resume.add_argument("--steps", type=int, default=0,
+                                 help="run at most this many more "
+                                      "instructions (0 = to completion)")
+    snapshot_resume.set_defaults(func=_cmd_snapshot_resume)
+
+    snapshot_info = snapshot_sub.add_parser(
+        "info", help="print a checkpoint's JSON summary")
+    snapshot_info.add_argument("--key", required=True)
+    snapshot_info.add_argument("--store", default=".farm")
+    snapshot_info.set_defaults(func=_cmd_snapshot_info)
     return parser
 
 

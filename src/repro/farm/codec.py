@@ -19,6 +19,11 @@ Three artifact kinds have dedicated codecs:
 ``object``
     Any picklable Python value as a single blob (used for pipeline
     results: BBV profiles, SimPoint selections, validation outcomes).
+``snapshot``
+    A whole-machine :class:`~repro.snapshot.state.MachineSnapshot`:
+    pages become one block each (same pool as pinball pages, so an
+    incremental snapshot shares every unchanged page) and the canonical
+    JSON state blob is the "rest" block.
 
 A ``pinballs`` codec wraps a ``{name: Pinball}`` mapping (the unit the
 multi-region logger produces) so a whole capture pass is one store
@@ -32,6 +37,7 @@ import hashlib
 import io
 import json
 import pickle
+import sys
 from typing import Any, Callable, Dict, List, Tuple
 
 from repro.core.pinball2elf import ElfieArtifact
@@ -178,6 +184,32 @@ def decode_elfie(meta: dict, fetch: Fetch) -> ElfieArtifact:
     )
 
 
+# -- machine snapshots -------------------------------------------------------
+
+def encode_snapshot(snapshot: Any) -> Encoded:
+    """Encode a :class:`MachineSnapshot` (duck-typed to avoid a cycle:
+    ``repro.snapshot`` depends on machine/pinplay which this module's
+    clients already import)."""
+    blocks: Dict[str, bytes] = {}
+    pages: List[List[Any]] = []
+    for addr in sorted(snapshot.pages):
+        prot, data = snapshot.pages[addr]
+        digest = sha256_hex(data)
+        blocks[digest] = data
+        pages.append([addr, prot, digest])
+    rest = snapshot.state_bytes()
+    rest_digest = sha256_hex(rest)
+    blocks[rest_digest] = rest
+    return {"pages": pages, "rest": rest_digest}, blocks
+
+
+def decode_snapshot(meta: dict, fetch: Fetch) -> Any:
+    from repro.snapshot.state import MachineSnapshot
+    pages = {addr: (prot, fetch(digest))
+             for addr, prot, digest in meta["pages"]}
+    return MachineSnapshot.from_state_bytes(pages, fetch(meta["rest"]))
+
+
 # -- arbitrary objects -----------------------------------------------------
 
 def encode_object(obj: Any) -> Encoded:
@@ -197,6 +229,7 @@ _CODECS = {
     "pinballs": (encode_pinballs, decode_pinballs),
     "elfie": (encode_elfie, decode_elfie),
     "object": (encode_object, decode_object),
+    "snapshot": (encode_snapshot, decode_snapshot),
 }
 
 
@@ -206,6 +239,13 @@ def infer_kind(obj: Any) -> str:
         return "pinball"
     if isinstance(obj, ElfieArtifact):
         return "elfie"
+    # Checked via sys.modules so this module never imports the snapshot
+    # package (which would be a cycle); an object can only be a
+    # MachineSnapshot if its defining module is already loaded.
+    snapshot_module = sys.modules.get("repro.snapshot.state")
+    if (snapshot_module is not None
+            and isinstance(obj, snapshot_module.MachineSnapshot)):
+        return "snapshot"
     if (isinstance(obj, dict) and obj
             and all(isinstance(v, Pinball) for v in obj.values())):
         return "pinballs"

@@ -45,8 +45,14 @@ class CampaignError(Exception):
         super().__init__("campaign failed: " + "; ".join(lines))
 
 
-def _call_job(fn, args, kwargs):
+def _call_job(fn, args, kwargs, resume=None):
     """Worker-side wrapper: returns (worker pid, wall seconds, result)."""
+    if resume is not None:
+        # Seed the pool worker's process-global preemption context so
+        # the job body resumes from the shipped checkpoint.
+        from repro.snapshot import preempt
+        preempt.GLOBAL.take_resume()  # drop any stale slot
+        preempt.set_resume(resume)
     start = time.perf_counter()
     result = fn(*args, **kwargs)
     return os.getpid(), time.perf_counter() - start, result
@@ -111,14 +117,24 @@ class FarmRunner:
                  retries: int = 2,
                  backoff: float = 0.05,
                  max_backoff: float = 2.0,
-                 manifest_path: Optional[str] = None) -> None:
+                 manifest_path: Optional[str] = None,
+                 preemptible: bool = False) -> None:
         self.store = store
         self.jobs = max(1, jobs if jobs is not None else (os.cpu_count() or 1))
         self.retries = retries
         self.backoff = backoff
         self.max_backoff = max_backoff
         self.manifest = RunManifest(manifest_path) if manifest_path else None
+        #: cooperate with :mod:`repro.snapshot.preempt`: stop scheduling
+        #: once a preemption is requested, persist checkpoints raised by
+        #: job bodies under ``snap/<job key>``, and seed resumes from
+        #: such artifacts on the next campaign of the same graph
+        self.preemptible = preemptible
         self.report = RunReport()
+
+    @staticmethod
+    def snapshot_key(job_key: str) -> str:
+        return "snap/" + job_key
 
     # -- manifest ----------------------------------------------------------
 
@@ -190,6 +206,15 @@ class FarmRunner:
                 if not progressed:
                     if inflight or retry_at:
                         time.sleep(0.003)
+                    elif self._preempt_requested():
+                        # drained: the rest of the campaign resumes from
+                        # the store (results + checkpoints) next run
+                        for name in remaining:
+                            self._record(graph.jobs[name], "deferred",
+                                         "none", 0.0, None, 0,
+                                         "campaign preempted")
+                            done[name] = "deferred"
+                        break
                     else:
                         # jobs remain but none can ever become ready
                         for name in remaining:
@@ -226,8 +251,32 @@ class FarmRunner:
                 ready.append(job)
         return ready
 
+    def _preempt_requested(self) -> bool:
+        if not self.preemptible:
+            return False
+        from repro.snapshot import preempt
+        return preempt.requested()
+
+    def _resume_snapshot(self, job: Job):
+        """The parked checkpoint for *job*, if a prior run left one."""
+        if not (self.preemptible and job.key and self.store is not None):
+            return None
+        snap_key = self.snapshot_key(job.key)
+        try:
+            if self.store.contains(snap_key):
+                return self.store.get(snap_key)
+        except StoreCorruption:
+            self.store.delete(snap_key)
+        return None
+
+    def _save_preemption(self, job: Job, snapshot) -> None:
+        if job.key and self.store is not None:
+            self.store.put(self.snapshot_key(job.key), snapshot, "snapshot")
+
     def _schedule(self, graph, results, done, inflight, retry_at,
                   pool) -> bool:
+        if self._preempt_requested():
+            return False  # draining: collect in-flight work only
         progressed = False
         now = time.time()
         # resubmit due retries
@@ -263,26 +312,42 @@ class FarmRunner:
                 attempts: int, graph) -> bool:
         args = resolve_refs(job.args, results)
         kwargs = resolve_refs(job.kwargs, results)
+        resume = self._resume_snapshot(job)
         if pool is None or job.local:
             self._run_inline(job, args, kwargs, results, done, graph,
-                             attempts)
+                             attempts, resume)
             return True
-        async_result = pool.apply_async(_call_job, (job.fn, args, kwargs))
+        async_result = pool.apply_async(_call_job,
+                                        (job.fn, args, kwargs, resume))
         inflight[job.name] = _Pending(job=job, async_result=async_result,
                                       attempts=attempts,
                                       submitted=time.time())
         return True
 
     def _run_inline(self, job: Job, args, kwargs, results, done, graph,
-                    attempts: int) -> None:
+                    attempts: int, resume=None) -> None:
         max_attempts = 1 + (job.retries if job.retries is not None
                             else self.retries)
         error = ""
         while attempts <= max_attempts:
+            if resume is not None:
+                from repro.snapshot import preempt
+                preempt.GLOBAL.take_resume()
+                preempt.set_resume(resume)
             start = time.perf_counter()
             try:
                 result = job.fn(*args, **kwargs)
             except Exception as exc:
+                if self.preemptible:
+                    from repro.snapshot.preempt import Preempted
+                    if isinstance(exc, Preempted):
+                        self._save_preemption(job, exc.snapshot)
+                        done[job.name] = "preempted"
+                        self._record(job, "preempted",
+                                     "miss" if job.key else "none",
+                                     time.perf_counter() - start,
+                                     os.getpid(), attempts, str(exc))
+                        return
                 error = "%s: %s" % (type(exc).__name__, exc)
                 if attempts < max_attempts:
                     time.sleep(self._delay(attempts))
@@ -309,6 +374,15 @@ class FarmRunner:
             try:
                 worker, wall, result = pending.async_result.get()
             except Exception as exc:
+                if self.preemptible:
+                    from repro.snapshot.preempt import Preempted
+                    if isinstance(exc, Preempted):
+                        self._save_preemption(job, exc.snapshot)
+                        done[name] = "preempted"
+                        self._record(job, "preempted",
+                                     "miss" if job.key else "none",
+                                     0.0, None, pending.attempts, str(exc))
+                        continue
                 error = "%s: %s" % (type(exc).__name__, exc)
                 max_attempts = 1 + (job.retries if job.retries is not None
                                     else self.retries)
@@ -334,6 +408,9 @@ class FarmRunner:
                   attempts: int, results, done, graph) -> None:
         if job.key and self.store is not None:
             self.store.put(job.key, result, job.kind)
+            if self.preemptible:
+                # the job settled: its resume checkpoint is garbage now
+                self.store.delete(self.snapshot_key(job.key))
         results[job.name] = result
         done[job.name] = "ok"
         self._record(job, "ok", "miss" if job.key else "none", wall,

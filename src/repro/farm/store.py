@@ -25,7 +25,7 @@ import tempfile
 import time
 import zlib
 from dataclasses import dataclass, field
-from typing import Any, Dict, Iterator, List
+from typing import Any, Dict, Iterable, Iterator, List
 
 from repro.farm import codec
 from repro.observe import hooks
@@ -99,12 +99,14 @@ class GCStats:
     live_blocks: int = 0
     removed_blocks: int = 0
     freed_bytes: int = 0
+    removed_snapshots: int = 0
     dry_run: bool = False
 
     def to_json(self) -> dict:
         return {"live_blocks": self.live_blocks,
                 "removed_blocks": self.removed_blocks,
                 "freed_bytes": self.freed_bytes,
+                "removed_snapshots": self.removed_snapshots,
                 "dry_run": self.dry_run}
 
 
@@ -363,19 +365,42 @@ class ArtifactStore:
         return stats
 
     def gc(self, dry_run: bool = False,
-           tmp_ttl_s: float = STALE_TMP_S) -> GCStats:
+           tmp_ttl_s: float = STALE_TMP_S,
+           prune_snapshots: bool = False,
+           snapshot_roots: Iterable[str] = ()) -> GCStats:
         """Mark-sweep: delete blocks no live artifact references.
 
         With ``dry_run`` nothing is unlinked; the returned stats report
         what a real sweep *would* remove (the ``farm gc --dry-run``
         report).  Also reclaims temp files abandoned by killed writers
         (older than *tmp_ttl_s*).
+
+        With ``prune_snapshots``, preemption checkpoints (records of
+        kind ``snapshot``) whose key is not in *snapshot_roots* are
+        deleted before the mark phase — a root is the checkpoint of a
+        job that is still queued or leased (the scheduler's
+        ``snapshot_roots()``), everything else is a drained worker's
+        leftover whose job has since settled.  Without the flag,
+        snapshot records are ordinary artifacts and keep their blocks
+        live.
         """
+        result = GCStats(dry_run=dry_run)
+        pruned: set = set()
+        if prune_snapshots:
+            roots = set(snapshot_roots)
+            for key in list(self.keys()):
+                record = self._load_record(key)
+                if record["kind"] == "snapshot" and key not in roots:
+                    pruned.add(key)
+                    result.removed_snapshots += 1
+                    if not dry_run:
+                        self.remove_record(key)
         live: set = set()
         for key in self.keys():
+            if key in pruned:
+                continue  # dry_run keeps the record; mark as if gone
             record = self._load_record(key)
             live.update(_referenced_digests(record["meta"]))
-        result = GCStats(dry_run=dry_run)
         for digest in list(self._iter_block_files()):
             if digest in live:
                 result.live_blocks += 1

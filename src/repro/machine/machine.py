@@ -301,7 +301,8 @@ class Machine:
                 break
             self.executed_total += executed
             if executed != slice_.quantum:
-                self.scheduler.note_partial(slice_, executed)
+                self.scheduler.note_partial(slice_, executed,
+                                            resumable=thread.runnable)
             if self.cpu.stop_flag is not None:
                 return self._stopped(self.cpu.stop_flag)
             if (max_instructions is not None

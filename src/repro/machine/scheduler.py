@@ -76,20 +76,21 @@ class Scheduler:
         tids = sorted(runnable_tids)
         if not tids:
             raise RuntimeError("no runnable threads (deadlock)")
+        if self._replay_pending is not None:
+            # Remainder of a slice that was interrupted early (an epoch
+            # boundary or snapshot point clamped the quantum): finish it
+            # before drawing the next decision, so a stepped or
+            # suspended/resumed run sees the same interleaving as an
+            # uninterrupted one.
+            entry = self._replay_pending
+            self._replay_pending = None
+            if entry.tid in tids:
+                if self.record:
+                    self.trace.append(entry)
+                return entry
+            # The thread blocked or exited at the interruption point;
+            # the trim semantics drop the rest of the slice.
         if self._replay_log is not None:
-            if self._replay_pending is not None:
-                # Remainder of a slice that was interrupted early (an
-                # epoch boundary clamped the quantum): finish it before
-                # consuming the next log entry so a stepped replay sees
-                # the same interleaving as an uninterrupted one.
-                entry = self._replay_pending
-                self._replay_pending = None
-                if entry.tid in tids:
-                    if self.record:
-                        self.trace.append(entry)
-                    return entry
-                # The thread blocked or exited at the interruption
-                # point; the recorded trim semantics drop the rest.
             if self._replay_pos >= len(self._replay_log):
                 # Log exhausted: fall through to free-run (used by
                 # injection-less replay past the recorded region).
@@ -120,18 +121,25 @@ class Scheduler:
             self.trace.append(chosen)
         return chosen
 
-    def note_partial(self, slice_: ScheduleSlice, executed: int) -> None:
+    def note_partial(self, slice_: ScheduleSlice, executed: int,
+                     resumable: bool = False) -> None:
         """Adjust the recorded trace when a slice ended early.
 
         A thread can exit, block, or hit a region boundary before its
         quantum expires; the recorded schedule must reflect the executed
         length so replay stays aligned.
+
+        With *resumable* (the thread is still runnable — the cut came
+        from an instruction budget or a stop request, not from the
+        thread itself), the unexecuted remainder is parked so the next
+        ``pick()`` finishes the slice first.  This makes budgeted
+        stepping — epoch sweeps, BBV slices, snapshot suspend points —
+        schedule-transparent: the interleaving matches an uninterrupted
+        run, in free-run and replay mode alike.
         """
         if self.record and self.trace and self.trace[-1] is slice_:
             self.trace[-1] = ScheduleSlice(tid=slice_.tid, quantum=executed)
-        if self._replay_log is not None and executed < slice_.quantum:
-            # Replay mode: the machine interrupted a recorded slice (an
-            # instruction-budget clamp, e.g. an epoch boundary).  Park
-            # the unexecuted remainder so the next pick() resumes it.
+        if executed < slice_.quantum and (resumable
+                                          or self._replay_log is not None):
             self._replay_pending = ScheduleSlice(
                 tid=slice_.tid, quantum=slice_.quantum - executed)

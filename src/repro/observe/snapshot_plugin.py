@@ -1,0 +1,82 @@
+"""Snapshot save/restore hooks for observation tools.
+
+Covers the measurement-side tools that ride along on a run: the BBV
+profiler's block counter (mid-slice accumulator and open-block cursors)
+and the verifier's dirty-page tracker.  Both are matched by class name
+and attachment order, like the PinPlay plugin — the restore side
+attaches fresh instances, this plugin refills their accumulators so a
+resumed profile continues exactly where the suspended one stopped.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+from repro.simpoint.bbv import _BlockCounter
+from repro.snapshot.plugins import SnapshotPlugin, register_plugin
+from repro.verify.digest import DirtyPageTracker
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.machine.machine import Machine
+
+
+def _save_block_counter(tool: _BlockCounter) -> dict:
+    return {
+        "current": [[pc, count] for pc, count in sorted(tool.current.items())],
+        "open_block": [[tid, pc]
+                       for tid, pc in sorted(tool._open_block.items())],
+        "open_icount": [[tid, icount]
+                        for tid, icount in sorted(tool._open_icount.items())],
+    }
+
+
+def _restore_block_counter(tool: _BlockCounter, state: dict) -> None:
+    tool.current = {pc: count for pc, count in state["current"]}
+    tool._open_block = {tid: pc for tid, pc in state["open_block"]}
+    tool._open_icount = {tid: icount for tid, icount in state["open_icount"]}
+
+
+def _save_dirty_tracker(tool: DirtyPageTracker) -> dict:
+    return {"dirty": sorted(tool.dirty)}
+
+
+def _restore_dirty_tracker(tool: DirtyPageTracker, state: dict) -> None:
+    tool.dirty = set(state["dirty"])
+
+
+_SAVERS = {
+    "_BlockCounter": _save_block_counter,
+    "DirtyPageTracker": _save_dirty_tracker,
+}
+_RESTORERS = {
+    "_BlockCounter": _restore_block_counter,
+    "DirtyPageTracker": _restore_dirty_tracker,
+}
+
+
+class ObserveSnapshotPlugin(SnapshotPlugin):
+    name = "observe"
+    needs_tools = True
+
+    def save(self, machine: "Machine") -> Optional[dict]:
+        records = []
+        for tool in machine.tools:
+            saver = _SAVERS.get(tool.__class__.__name__)
+            if saver is not None:
+                records.append([tool.__class__.__name__, saver(tool)])
+        return {"tools": records} if records else None
+
+    def restore(self, machine: "Machine", state: dict) -> None:
+        pools = {}
+        for tool in machine.tools:
+            pools.setdefault(tool.__class__.__name__, []).append(tool)
+        taken = {}
+        for class_name, tool_state in state["tools"]:
+            index = taken.get(class_name, 0)
+            taken[class_name] = index + 1
+            pool = pools.get(class_name, [])
+            if index < len(pool):
+                _RESTORERS[class_name](pool[index], tool_state)
+
+
+register_plugin(ObserveSnapshotPlugin())

@@ -1,0 +1,135 @@
+"""Snapshot save/restore hooks for PinPlay tools.
+
+A machine suspended mid-capture (the logger's ``_RecordingTool``) or
+mid-replay (the replayer's ``_InjectionTool``) carries tool-internal
+cursors that the resumed run must continue from: the recorder's
+accumulated syscall log and touched-page set, the injector's per-thread
+syscall queues and divergence flag.  This plugin serializes them.
+
+Tool instances are matched by class name and attachment order: the
+restore side attaches freshly constructed tools (the snapshot cannot
+pickle live tools — they hold machine references), then this plugin
+rehydrates the nth attached instance of each class from the nth saved
+record.  ``needs_tools`` is therefore True: the plugin runs in the
+second restore phase, after :func:`repro.snapshot.state.restore` has
+re-attached the caller's tools.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+from repro.pinplay.logger import _RecordingTool
+from repro.pinplay.pinball import SyscallRecord
+from repro.pinplay.replayer import DivergenceInfo, _InjectionTool
+from repro.snapshot.plugins import SnapshotPlugin, register_plugin
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.machine.machine import Machine
+
+
+def _encode_divergence(info: Optional[DivergenceInfo]) -> Optional[dict]:
+    if info is None:
+        return None
+    return {"kind": info.kind, "tid": info.tid, "pc": info.pc,
+            "icount": info.icount, "detail": info.detail}
+
+
+def _decode_divergence(data: Optional[dict]) -> Optional[DivergenceInfo]:
+    if data is None:
+        return None
+    return DivergenceInfo(kind=data["kind"], tid=data["tid"], pc=data["pc"],
+                          icount=data["icount"], detail=data["detail"])
+
+
+def _save_recorder(tool: _RecordingTool) -> dict:
+    return {
+        "lazy": tool.lazy,
+        "syscalls": [record.to_json() for record in tool.syscalls],
+        "touched_pages": sorted(tool.touched_pages),
+        "pending": [[tid, list(args), path]
+                    for tid, (args, path) in sorted(tool._pending.items())],
+    }
+
+
+def _restore_recorder(tool: _RecordingTool, state: dict) -> None:
+    tool.lazy = state["lazy"]
+    tool.wants_instructions = state["lazy"]
+    tool.syscalls = [SyscallRecord.from_json(item)
+                     for item in state["syscalls"]]
+    tool.touched_pages = set(state["touched_pages"])
+    tool._pending = {tid: (tuple(args), path)
+                     for tid, args, path in state["pending"]}
+
+
+def _save_injector(tool: _InjectionTool) -> dict:
+    return {
+        "queues": [[tid, [record.to_json() for record in queue]]
+                   for tid, queue in sorted(tool._queues.items())],
+        "injected": tool.injected,
+        "native_syscalls": tool.native_syscalls,
+        "diverged": _encode_divergence(tool.diverged),
+        "instrument": tool.wants_instructions,
+        "replayed_instructions": tool.replayed_instructions,
+        "monitored_accesses": tool.monitored_accesses,
+        "uncaptured_accesses": tool.uncaptured_accesses,
+        "pending": [[tid, record.to_json()]
+                    for tid, record in sorted(tool._pending.items())],
+        "captured_pages": sorted(tool._captured_pages),
+    }
+
+
+def _restore_injector(tool: _InjectionTool, state: dict) -> None:
+    tool._queues = {tid: [SyscallRecord.from_json(item) for item in queue]
+                    for tid, queue in state["queues"]}
+    tool.injected = state["injected"]
+    tool.native_syscalls = state["native_syscalls"]
+    tool.diverged = _decode_divergence(state["diverged"])
+    tool.wants_instructions = state["instrument"]
+    tool.wants_memory = state["instrument"]
+    tool.replayed_instructions = state["replayed_instructions"]
+    tool.monitored_accesses = state["monitored_accesses"]
+    tool.uncaptured_accesses = state["uncaptured_accesses"]
+    tool._pending = {tid: SyscallRecord.from_json(item)
+                     for tid, item in state["pending"]}
+    tool._captured_pages = frozenset(state["captured_pages"])
+
+
+_SAVERS = {
+    "_RecordingTool": _save_recorder,
+    "_InjectionTool": _save_injector,
+}
+_RESTORERS = {
+    "_RecordingTool": _restore_recorder,
+    "_InjectionTool": _restore_injector,
+}
+
+
+class PinplaySnapshotPlugin(SnapshotPlugin):
+    name = "pinplay"
+    needs_tools = True
+
+    def save(self, machine: "Machine") -> Optional[dict]:
+        records = []
+        for tool in machine.tools:
+            saver = _SAVERS.get(tool.__class__.__name__)
+            if saver is not None:
+                records.append([tool.__class__.__name__, saver(tool)])
+        return {"tools": records} if records else None
+
+    def restore(self, machine: "Machine", state: dict) -> None:
+        pools = {}
+        for tool in machine.tools:
+            pools.setdefault(tool.__class__.__name__, []).append(tool)
+        taken = {}
+        for class_name, tool_state in state["tools"]:
+            index = taken.get(class_name, 0)
+            taken[class_name] = index + 1
+            pool = pools.get(class_name, [])
+            if index < len(pool):
+                _RESTORERS[class_name](pool[index], tool_state)
+        # wants_instructions may have changed; resync the dispatch path.
+        machine._rebuild_tool_lists()
+
+
+register_plugin(PinplaySnapshotPlugin())

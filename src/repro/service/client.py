@@ -179,10 +179,16 @@ class ServiceClient:
 
     def complete(self, lease_id: str, ok: bool = True, error: str = "",
                  wall_s: float = 0.0, icount: Optional[int] = None,
-                 worker: str = "") -> dict:
+                 worker: str = "", preempted: bool = False,
+                 snapshot_key: str = "") -> dict:
+        if preempted:
+            status = "preempted"
+        else:
+            status = "ok" if ok else "failed"
         return self.call("complete", lease_id=lease_id,
-                         status="ok" if ok else "failed", error=error,
-                         wall_s=wall_s, icount=icount, worker=worker)["job"]
+                         status=status, error=error,
+                         wall_s=wall_s, icount=icount, worker=worker,
+                         snapshot_key=snapshot_key)["job"]
 
     def cancel(self, job_id: str) -> dict:
         return self.call("cancel", job_id=job_id)["job"]

@@ -82,6 +82,11 @@ class ServiceJob:
     first_leased_at: float = 0.0
     wall_s: float = 0.0
     icount: Optional[int] = None
+    #: store key of the checkpoint a preempted worker pushed; the next
+    #: lease resumes from it (and gc treats it as a root while unsettled)
+    snapshot_key: str = ""
+    #: how many times the job was preempted and re-queued
+    preemptions: int = 0
     #: every client that submitted this memo key while it was in flight
     clients: Set[str] = field(default_factory=set)
     #: request ids whose completion was accepted (idempotency record)
@@ -109,6 +114,8 @@ class ServiceJob:
             "worker": self.worker,
             "wall_s": self.wall_s,
             "icount": self.icount,
+            "snapshot_key": self.snapshot_key,
+            "preemptions": self.preemptions,
         }
 
 
@@ -239,8 +246,18 @@ class FairShareScheduler:
     def complete(self, lease_id: str, request_id: str, ok: bool = True,
                  error: str = "", wall_s: float = 0.0,
                  icount: Optional[int] = None,
-                 worker: str = "") -> ServiceJob:
-        """Settle (or retry) the leased job; idempotent per request id."""
+                 worker: str = "",
+                 preempted: bool = False,
+                 snapshot_key: str = "") -> ServiceJob:
+        """Settle (or retry) the leased job; idempotent per request id.
+
+        A *preempted* completion is neither success nor failure: the
+        worker checkpointed the job (pushing *snapshot_key* to the
+        store) and surrendered the lease.  The job is re-queued with
+        the snapshot key attached — and the lease's attempt is handed
+        back, so a job drained N times across worker restarts still
+        has its full retry budget for real failures.
+        """
         job_id = self._leases.get(lease_id)
         if job_id is not None:
             job = self.jobs[job_id]
@@ -249,7 +266,15 @@ class FairShareScheduler:
             if job.state == "leased" and job.lease_id == lease_id:
                 if request_id:
                     job.completed_requests.add(request_id)
-                if ok:
+                if preempted:
+                    job.attempts = max(0, job.attempts - 1)
+                    job.preemptions += 1
+                    if snapshot_key:
+                        job.snapshot_key = snapshot_key
+                    job.error = ""
+                    del self._leases[lease_id]
+                    self._enqueue(job)
+                elif ok:
                     job.wall_s = wall_s
                     job.icount = icount
                     if worker:
@@ -321,6 +346,16 @@ class FairShareScheduler:
     def queued(self) -> int:
         return self._queued
 
+    def snapshot_roots(self) -> List[str]:
+        """Snapshot keys the store must keep: unsettled preempted jobs.
+
+        Once a job settles its snapshot is garbage (the real artifact
+        exists, or the retry budget is gone); while it is queued or
+        leased the snapshot is the job's progress and must survive gc.
+        """
+        return sorted({job.snapshot_key for job in self.jobs.values()
+                       if job.snapshot_key and not job.settled})
+
     def stats(self) -> dict:
         states: Dict[str, int] = {}
         for job in self.jobs.values():
@@ -340,4 +375,7 @@ class FairShareScheduler:
             "jobs": len(self.jobs),
             "states": states,
             "clients": clients,
+            "preemptions": sum(job.preemptions
+                               for job in self.jobs.values()),
+            "snapshot_roots": self.snapshot_roots(),
         }

@@ -229,19 +229,24 @@ class CheckpointServer:
         return {"deadline": deadline}
 
     async def _verb_complete(self, message: dict) -> dict:
+        status = str(message.get("status", "ok"))
         job = self.scheduler.complete(
             lease_id=str(message.get("lease_id", "")),
             request_id=str(message.get("id", "")),
-            ok=bool(message.get("status", "ok") == "ok"),
+            ok=bool(status == "ok"),
             error=str(message.get("error", "")),
             wall_s=float(message.get("wall_s", 0.0)),
             icount=message.get("icount"),
             worker=str(message.get("worker", "")),
+            preempted=bool(status == "preempted"),
+            snapshot_key=str(message.get("snapshot_key", "") or ""),
         )
         self.completes += 1
         obs = hooks.OBS
         if obs.enabled:
             obs.count("service.completes")
+            if status == "preempted":
+                obs.count("service.preemptions")
             obs.gauge("service.queue_depth", self.scheduler.queued)
         return {"job": job.describe()}
 

@@ -35,7 +35,7 @@ from __future__ import annotations
 import json
 import os
 from dataclasses import dataclass, field
-from typing import Any, Dict, Iterator, List, Optional
+from typing import Any, Dict, Iterable, Iterator, List, Optional
 
 from repro.farm import codec
 from repro.farm.store import (
@@ -322,17 +322,34 @@ class ShardedStore:
         return stats
 
     def gc(self, dry_run: bool = False,
-           tmp_ttl_s: float = STALE_TMP_S) -> GCStats:
+           tmp_ttl_s: float = STALE_TMP_S,
+           prune_snapshots: bool = False,
+           snapshot_roots: Iterable[str] = ()) -> GCStats:
         """Mark-sweep over every shard against the global live set.
 
         A live block is kept on *any* shard it appears on (a stray
         replica of a live block is future read-repair fodder, and
         rebalance is the tool that canonicalizes placement, not gc).
+        ``prune_snapshots``/*snapshot_roots* behave as in
+        :meth:`repro.farm.store.ArtifactStore.gc`: non-root preemption
+        checkpoints are dropped before the mark phase.
         """
+        result = GCStats(dry_run=dry_run)
+        pruned: set = set()
+        if prune_snapshots:
+            roots = set(snapshot_roots)
+            for key in list(self.keys()):
+                if self.get_record(key)["kind"] == "snapshot" \
+                        and key not in roots:
+                    pruned.add(key)
+                    result.removed_snapshots += 1
+                    if not dry_run:
+                        self.delete(key)
         live: set = set()
         for key in self.keys():
+            if key in pruned:
+                continue
             live.update(_referenced_digests(self.get_record(key)["meta"]))
-        result = GCStats(dry_run=dry_run)
         for store in self._stores.values():
             for digest in list(store.block_digests()):
                 if digest in live:

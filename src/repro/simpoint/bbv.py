@@ -106,26 +106,66 @@ class BBVProfile:
 def collect_bbv(image: bytes, slice_size: int, seed: int = 0,
                 fs: Optional[FileSystem] = None,
                 argv: Optional[Sequence[str]] = None,
-                max_slices: int = 1_000_000) -> BBVProfile:
+                max_slices: int = 1_000_000,
+                preemptible: bool = False) -> BBVProfile:
     """Profile a program into per-slice basic-block vectors.
 
     The run is driven in exact ``slice_size`` chunks; the returned
     profile's slice boundaries therefore land on exact global
     instruction counts.
+
+    With *preemptible* the profiler cooperates with the snapshot
+    subsystem's preemption context: it polls for a preemption request
+    at every slice boundary and, when one arrives, captures a machine
+    snapshot carrying the profiling progress in ``extra`` and raises
+    :class:`~repro.snapshot.preempt.Preempted`.  On entry it first
+    claims any parked ``kind == "bbv"`` resume snapshot and continues
+    the interrupted profile instead of starting cold — the slice
+    boundaries (and therefore the resulting profile) are identical to
+    an uninterrupted run because mid-quantum suspension is
+    schedule-transparent.
     """
     if slice_size <= 0:
         raise ValueError("slice_size must be positive")
-    machine = Machine(seed=seed, fs=fs)
-    load_elf(machine, image, argv=argv)
-    counter = _BlockCounter()
-    machine.attach(counter)
 
     vectors: List[Dict[int, int]] = []
     slice_cycles: List[int] = []
     slice_icounts: List[int] = []
     cycles_before = 0
+    start_index = 0
+    machine = None
+    counter = _BlockCounter()
+    if preemptible:
+        from repro.snapshot import preempt, restore
+        parked = preempt.take_resume(kind="bbv")
+        if parked is not None:
+            machine = restore(parked, tools=[counter])
+            extra = parked.extra
+            start_index = int(extra["index"])
+            vectors = [{int(pc): int(count) for pc, count in pairs}
+                       for pairs in extra["vectors"]]
+            slice_cycles = [int(c) for c in extra["slice_cycles"]]
+            slice_icounts = [int(c) for c in extra["slice_icounts"]]
+            cycles_before = int(extra["cycles_before"])
+    if machine is None:
+        machine = Machine(seed=seed, fs=fs)
+        load_elf(machine, image, argv=argv)
+        machine.attach(counter)
+
     status = None
-    for index in range(max_slices):
+    for index in range(start_index, max_slices):
+        if preemptible and preempt.requested():
+            from repro.snapshot import Preempted, capture
+            # JSON canonicalization would stringify int dict keys, so
+            # the vectors travel as [pc, count] pair lists.
+            raise Preempted(capture(machine, extra={
+                "kind": "bbv",
+                "index": index,
+                "vectors": [sorted(v.items()) for v in vectors],
+                "slice_cycles": slice_cycles,
+                "slice_icounts": slice_icounts,
+                "cycles_before": cycles_before,
+            }), reason="bbv profile preempted at slice %d" % index)
         boundary = (index + 1) * slice_size
         status = machine.run(max_instructions=boundary)
         icount_now = machine.executed_total

@@ -225,7 +225,11 @@ def _region_spec_tuple(region: RegionSpec) -> List[Any]:
 
 
 def _job_profile(image: bytes, slice_size: int, seed: int) -> BBVProfile:
-    return collect_bbv(image, slice_size=slice_size, seed=seed)
+    # Always preemptible: the poll is one Event check per slice, and a
+    # preemption is only ever requested by a draining worker's SIGTERM
+    # handler (or a --preemptible campaign runner).
+    return collect_bbv(image, slice_size=slice_size, seed=seed,
+                       preemptible=True)
 
 
 def _job_select(profile: BBVProfile, max_k: int,
@@ -405,6 +409,7 @@ def run_pinpoints_campaign(images: Dict[str, bytes],
                            perf_exit: bool = True,
                            cluster_seed: int = 42,
                            validations: Sequence[FarmValidation] = (),
+                           preemptible: bool = False,
                            ) -> Dict[str, FarmAppOutcome]:
     """Run the PinPoints pipeline for several apps through the farm.
 
@@ -413,6 +418,12 @@ def run_pinpoints_campaign(images: Dict[str, bytes],
     campaign is a warm, logger/converter-free pass.  Produces exactly
     what :func:`run_pinpoints` + the validation functions produce for
     each app, plus the run manifest for observability.
+
+    With *preemptible*, a requested preemption (SIGTERM under
+    ``farm run --preemptible``) checkpoints the in-flight profile job
+    into the store, defers the rest of the graph, and returns the apps
+    that did finish; re-running the identical campaign resumes from
+    the memoized results plus the checkpoint.
     """
     obs = hooks.OBS
     with obs.span("campaign.build", "farm", apps=sorted(images)):
@@ -425,21 +436,26 @@ def run_pinpoints_campaign(images: Dict[str, bytes],
                                perf_exit=perf_exit, cluster_seed=cluster_seed,
                                validations=validations)
     if runner is None:
-        runner = FarmRunner(store, jobs=jobs, manifest_path=manifest_path)
+        runner = FarmRunner(store, jobs=jobs, manifest_path=manifest_path,
+                            preemptible=preemptible)
     with obs.span("campaign.run", "farm", apps=sorted(images),
                   workers=runner.jobs):
-        results = runner.run(graph)
-    return {
-        app_name: FarmAppOutcome(
-            result=results["%s/assemble" % app_name],
+        results = runner.run(graph, strict=not preemptible)
+    outcomes: Dict[str, FarmAppOutcome] = {}
+    for app_name in images:
+        assembled = results.get("%s/assemble" % app_name)
+        if assembled is None:
+            continue  # preempted/deferred before this app finished
+        outcomes[app_name] = FarmAppOutcome(
+            result=assembled,
             validations={
                 validation.label:
                     results["%s/validate/%s" % (app_name, validation.label)]
                 for validation in validations
+                if "%s/validate/%s" % (app_name, validation.label) in results
             },
         )
-        for app_name in images
-    }
+    return outcomes
 
 
 def run_pinpoints_farm(image: bytes, app_name: str,

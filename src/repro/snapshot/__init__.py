@@ -1,0 +1,60 @@
+"""repro.snapshot — the self-checkpointing VM.
+
+The paper's ELFies checkpoint a *region's entry state*; this package
+checkpoints the *simulator itself*: any run can be suspended at a
+quantum boundary, serialized into a content-addressed snapshot, and
+resumed bit-identically — in the same process, after a restart, or on
+a different worker (migration).
+
+- :mod:`repro.snapshot.plugins` — the DMTCP-style registry: each
+  component (``machine``, ``kernel``, ``pinplay``, ``observe``)
+  contributes save/restore hooks for its own state,
+- :mod:`repro.snapshot.state` — capture / restore / digest over the
+  registry, with pages kept block-pool-friendly for incremental
+  dedup through :mod:`repro.farm.codec`,
+- :mod:`repro.snapshot.preempt` — the checkpoint-on-SIGTERM handshake
+  between workers and cooperative job bodies.
+
+Importing this package registers the component plugins.
+"""
+
+from repro.snapshot.plugins import (
+    SnapshotPlugin,
+    get_plugin,
+    plugins,
+    register_plugin,
+)
+from repro.snapshot.state import (
+    FORMAT_VERSION,
+    MachineSnapshot,
+    capture,
+    restore,
+    snapshot_digest,
+    snapshot_info,
+)
+from repro.snapshot.preempt import (
+    GLOBAL,
+    Preempted,
+    PreemptionContext,
+)
+
+# Component plugin registration (import side effects).
+import repro.machine.snapshot_plugin  # noqa: F401,E402
+import repro.pinplay.snapshot_plugin  # noqa: F401,E402
+import repro.observe.snapshot_plugin  # noqa: F401,E402
+
+__all__ = [
+    "FORMAT_VERSION",
+    "GLOBAL",
+    "MachineSnapshot",
+    "Preempted",
+    "PreemptionContext",
+    "SnapshotPlugin",
+    "capture",
+    "get_plugin",
+    "plugins",
+    "register_plugin",
+    "restore",
+    "snapshot_digest",
+    "snapshot_info",
+]

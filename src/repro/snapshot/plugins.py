@@ -1,0 +1,67 @@
+"""DMTCP-style plugin registry for whole-machine checkpointing.
+
+DMTCP checkpoints unmodified processes by letting each subsystem
+register hooks that quiesce, serialize, and restore its own state; the
+coordinator only sequences them.  This module is that coordinator's
+registry for the simulated machine: each component package (``machine``,
+``kernel``, ``pinplay``, ``observe``) contributes a
+:class:`SnapshotPlugin` that knows how to save and restore *its* slice
+of a :class:`~repro.machine.machine.Machine`, and
+:mod:`repro.snapshot.state` walks the registry in registration order.
+
+Two-phase restore: plugins with ``needs_tools = False`` run against the
+bare machine (threads, scheduler, kernel) *before* tools are
+re-attached; plugins with ``needs_tools = True`` run after, so they can
+rehydrate tool-internal cursors (logger queues, BBV accumulators) into
+the already-attached instances.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, Optional, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.machine.machine import Machine
+
+
+class SnapshotPlugin:
+    """One component's save/restore hooks.
+
+    ``save`` returns a JSON-serializable dict (or None to contribute
+    nothing to this snapshot); ``restore`` receives that dict back on a
+    freshly constructed machine whose address space is already mapped.
+    """
+
+    #: Registry key; also the key of this plugin's slice in the snapshot.
+    name: str = ""
+    #: True to run restore after tools have been re-attached.
+    needs_tools: bool = False
+
+    def save(self, machine: "Machine") -> Optional[dict]:
+        raise NotImplementedError
+
+    def restore(self, machine: "Machine", state: dict) -> None:
+        raise NotImplementedError
+
+
+_REGISTRY: Dict[str, SnapshotPlugin] = {}
+
+
+def register_plugin(plugin: SnapshotPlugin) -> SnapshotPlugin:
+    """Register *plugin* (idempotent per name; re-registering replaces)."""
+    if not plugin.name:
+        raise ValueError("snapshot plugin needs a non-empty name")
+    _REGISTRY[plugin.name] = plugin
+    return plugin
+
+
+def get_plugin(name: str) -> SnapshotPlugin:
+    plugin = _REGISTRY.get(name)
+    if plugin is None:
+        raise KeyError("no snapshot plugin registered as %r" % name)
+    return plugin
+
+
+def plugins() -> Tuple[SnapshotPlugin, ...]:
+    """All registered plugins, in registration order."""
+    return tuple(_REGISTRY.values())

@@ -1,0 +1,164 @@
+"""Whole-machine snapshots: capture, restore, digest.
+
+A :class:`MachineSnapshot` is the simulator's analog of an ELFie taken
+of *itself*: the full page-level address space plus one JSON-serializable
+state slice per registered :class:`~repro.snapshot.plugins.SnapshotPlugin`
+(machine/threads/scheduler/CPU timing state, kernel/VFS, tool cursors).
+Captured at any quantum boundary — a ``Machine.run`` that returned
+``kind == "stopped"`` — and restored onto a fresh machine that continues
+bit-identically: same instruction stream, same schedule (the jitter
+RNG's Mersenne state travels along), same syscall results, same digests.
+
+Pages are kept separate from the JSON state so the content-addressed
+store codec (:mod:`repro.farm.codec`) can dedupe them through the block
+pool: two snapshots of the same run share every unchanged page block,
+which is what makes incremental checkpointing cheap.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import struct
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Sequence, Tuple
+
+from repro.machine.machine import Machine
+from repro.machine.memory import PAGE_SHIFT
+from repro.machine.tool import Tool
+from repro.snapshot.plugins import plugins
+
+#: Bumped when the snapshot state layout changes incompatibly.
+FORMAT_VERSION = 1
+
+
+@dataclass
+class MachineSnapshot:
+    """One suspended machine, ready to travel."""
+
+    #: page base address -> (protection bits, page bytes)
+    pages: Dict[int, Tuple[int, bytes]]
+    #: plugin name -> that plugin's JSON-serializable state slice
+    state: Dict[str, dict]
+    #: caller-owned progress (e.g. a preempted job's loop state)
+    extra: dict = field(default_factory=dict)
+    version: int = FORMAT_VERSION
+
+    def memory_bytes(self) -> int:
+        return sum(len(data) for _, data in self.pages.values())
+
+    def state_bytes(self) -> bytes:
+        """Canonical encoding of the non-page state (the codec's rest
+        blob): sorted-keys JSON, so equal states hash equally."""
+        payload = {"version": self.version, "state": self.state,
+                   "extra": self.extra}
+        return json.dumps(payload, sort_keys=True,
+                          separators=(",", ":")).encode("utf-8")
+
+    @classmethod
+    def from_state_bytes(cls, pages: Dict[int, Tuple[int, bytes]],
+                         blob: bytes) -> "MachineSnapshot":
+        payload = json.loads(blob.decode("utf-8"))
+        return cls(pages=pages, state=payload["state"],
+                   extra=payload.get("extra", {}),
+                   version=payload.get("version", FORMAT_VERSION))
+
+
+def capture(machine: Machine, extra: Optional[dict] = None) -> MachineSnapshot:
+    """Snapshot *machine* at a quantum boundary.
+
+    The machine must be suspended, not finished: a run that returned
+    ``kind == "stopped"`` leaves ``exit_status`` None, which is the
+    resumable state.  Every registered plugin contributes its slice;
+    plugins that find nothing of theirs attached contribute nothing.
+    """
+    if machine.exit_status is not None:
+        raise ValueError(
+            "machine has exited (%s); only a stopped machine is resumable"
+            % machine.exit_status.kind)
+    pages = machine.mem.snapshot()
+    perms = machine.mem.snapshot_perms()
+    state: Dict[str, dict] = {}
+    for plugin in plugins():
+        piece = plugin.save(machine)
+        if piece is not None:
+            state[plugin.name] = piece
+    return MachineSnapshot(
+        pages={page << PAGE_SHIFT: (perms[page], bytes(data))
+               for page, data in pages.items()},
+        state=state,
+        extra=dict(extra or {}),
+    )
+
+
+def restore(snapshot: MachineSnapshot,
+            tools: Sequence[Tool] = ()) -> Machine:
+    """Rebuild a machine from *snapshot*, bit-identical to the captured
+    one.
+
+    Two-phase, DMTCP-style: core plugins (machine, kernel) restore
+    against the bare machine first; then the caller's freshly
+    constructed *tools* are attached (in the same order as on the
+    captured machine) and the ``needs_tools`` plugins rehydrate their
+    internal cursors.  The decode/superblock caches are rebuilt lazily
+    from the restored code pages — dropping them is safe because they
+    are a pure function of mapped bytes.
+    """
+    if snapshot.version != FORMAT_VERSION:
+        raise ValueError("snapshot format v%d not supported (expected v%d)"
+                         % (snapshot.version, FORMAT_VERSION))
+    core = snapshot.state.get("machine")
+    if core is None:
+        raise ValueError("snapshot has no machine state")
+    scheduler_state = core["scheduler"]
+    machine = Machine(seed=scheduler_state["seed"],
+                      base_quantum=scheduler_state["base_quantum"])
+    for addr in sorted(snapshot.pages):
+        prot, data = snapshot.pages[addr]
+        machine.mem.map(addr, len(data), prot, data=bytes(data))
+    for plugin in plugins():
+        if not plugin.needs_tools and plugin.name in snapshot.state:
+            plugin.restore(machine, snapshot.state[plugin.name])
+    for tool in tools:
+        machine.attach(tool)
+    for plugin in plugins():
+        if plugin.needs_tools and plugin.name in snapshot.state:
+            plugin.restore(machine, snapshot.state[plugin.name])
+    return machine
+
+
+def snapshot_digest(snapshot: MachineSnapshot) -> str:
+    """sha256 over the canonical snapshot encoding.
+
+    Two snapshots digest equally iff they describe the same machine:
+    page image (address, protection, contents in address order) plus the
+    canonical state blob.  This is the bit-identity witness the tests
+    and ``snapshot info`` use.
+    """
+    digest = hashlib.sha256()
+    for addr in sorted(snapshot.pages):
+        prot, data = snapshot.pages[addr]
+        digest.update(struct.pack("<QI", addr, prot))
+        digest.update(data)
+    digest.update(snapshot.state_bytes())
+    return digest.hexdigest()
+
+
+def snapshot_info(snapshot: MachineSnapshot) -> dict:
+    """Human-facing summary (the ``snapshot info`` CLI payload)."""
+    core = snapshot.state.get("machine", {})
+    threads = core.get("threads", [])
+    return {
+        "version": snapshot.version,
+        "digest": snapshot_digest(snapshot),
+        "pages": len(snapshot.pages),
+        "memory_bytes": snapshot.memory_bytes(),
+        "state_bytes": len(snapshot.state_bytes()),
+        "executed_total": core.get("executed_total", 0),
+        "threads": [{"tid": record["tid"], "alive": record["alive"],
+                     "blocked": record["blocked"],
+                     "icount": record["icount"]}
+                    for record in threads],
+        "plugins": sorted(snapshot.state),
+        "extra_keys": sorted(snapshot.extra),
+    }

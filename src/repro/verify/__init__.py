@@ -42,6 +42,16 @@ from repro.verify.fuzz import (
     fuzz,
     minimize_case,
 )
+from repro.verify.lockstep import (
+    LockstepOutcome,
+    LockstepSweep,
+    ResumedCursor,
+    StraightCursor,
+    lockstep_corpus,
+    mt_cases,
+    run_lockstep_case,
+    verify_snapshot_lockstep,
+)
 from repro.verify.corpus import (
     CorpusCase,
     corpus_paths,
@@ -76,6 +86,14 @@ __all__ = [
     "run_case",
     "fuzz",
     "minimize_case",
+    "LockstepOutcome",
+    "LockstepSweep",
+    "ResumedCursor",
+    "StraightCursor",
+    "lockstep_corpus",
+    "mt_cases",
+    "run_lockstep_case",
+    "verify_snapshot_lockstep",
     "CorpusCase",
     "corpus_paths",
     "default_corpus_dir",

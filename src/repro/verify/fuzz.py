@@ -16,6 +16,8 @@ so corpus replays are exact.
 
 from __future__ import annotations
 
+import json
+import os
 import random
 import time
 from dataclasses import dataclass, field, replace
@@ -429,21 +431,72 @@ class FuzzSummary:
         return not self.failures
 
 
+def _load_fuzz_checkpoint(path: str) -> Optional[dict]:
+    try:
+        with open(path) as handle:
+            return json.load(handle)
+    except (OSError, ValueError):
+        return None
+
+
+def _save_fuzz_checkpoint(path: str, next_seed: int,
+                          summary: FuzzSummary) -> None:
+    state = {
+        "next_seed": next_seed,
+        "cases_run": summary.cases_run,
+        "invalid": summary.invalid,
+        "failures": [{"case": outcome.case.to_json(),
+                      "stage": outcome.stage,
+                      "detail": outcome.detail}
+                     for outcome in summary.failures],
+        "minimized": {str(seed): case.to_json()
+                      for seed, case in summary.minimized.items()},
+    }
+    tmp = path + ".tmp"
+    with open(tmp, "w") as handle:
+        json.dump(state, handle, indent=1)
+    os.replace(tmp, path)
+
+
 def fuzz(time_budget: float = 30.0, start_seed: int = 0,
          max_cases: Optional[int] = None, seed: int = 0,
-         minimize: bool = True) -> FuzzSummary:
+         minimize: bool = True,
+         checkpoint_path: Optional[str] = None) -> FuzzSummary:
     """Generate and verify cases until the wall-clock budget expires.
 
     Failing cases are minimized (when *minimize* is set) and collected;
     the CLI persists them into the regression corpus.
+
+    With *checkpoint_path*, the campaign persists its progress (next
+    seed, counters, failures) to that JSON file after every case and
+    resumes from it on the next invocation — and it also polls the
+    process preemption context so a draining worker's SIGTERM ends the
+    campaign at a case boundary with the checkpoint current.
     """
     obs = hooks.OBS
     summary = FuzzSummary()
-    deadline = time.monotonic() + time_budget
     case_seed = start_seed
+    if checkpoint_path:
+        state = _load_fuzz_checkpoint(checkpoint_path)
+        if state is not None:
+            case_seed = int(state.get("next_seed", start_seed))
+            summary.cases_run = int(state.get("cases_run", 0))
+            summary.invalid = int(state.get("invalid", 0))
+            for record in state.get("failures", []):
+                failed = FuzzCase.from_json(record["case"])
+                summary.failures.append(FuzzOutcome(
+                    case=failed, ok=False, stage=record["stage"],
+                    detail=record["detail"]))
+            for key, value in state.get("minimized", {}).items():
+                summary.minimized[int(key)] = FuzzCase.from_json(value)
+    deadline = time.monotonic() + time_budget
     while time.monotonic() < deadline:
         if max_cases is not None and summary.cases_run >= max_cases:
             break
+        if checkpoint_path:
+            from repro.snapshot import preempt
+            if preempt.requested():
+                break  # drain: the checkpoint already holds the progress
         case = generate_case(case_seed)
         case_seed += 1
         outcome = run_case(case, seed=seed)
@@ -451,16 +504,18 @@ def fuzz(time_budget: float = 30.0, start_seed: int = 0,
         if obs.enabled:
             obs.count("verify.fuzz_cases")
         if outcome.ok:
-            continue
-        if not outcome.is_divergence:
+            pass
+        elif not outcome.is_divergence:
             summary.invalid += 1
-            continue
-        if obs.enabled:
-            obs.count("verify.fuzz_failures")
-            obs.instant("verify.fuzz_failure", "verify",
-                        case=case.to_json(), stage=outcome.stage,
-                        detail=outcome.detail)
-        if minimize:
-            summary.minimized[case.seed] = minimize_case(case, seed=seed)
-        summary.failures.append(outcome)
+        else:
+            if obs.enabled:
+                obs.count("verify.fuzz_failures")
+                obs.instant("verify.fuzz_failure", "verify",
+                            case=case.to_json(), stage=outcome.stage,
+                            detail=outcome.detail)
+            if minimize:
+                summary.minimized[case.seed] = minimize_case(case, seed=seed)
+            summary.failures.append(outcome)
+        if checkpoint_path:
+            _save_fuzz_checkpoint(checkpoint_path, case_seed, summary)
     return summary

@@ -109,6 +109,23 @@ class NativeCursor:
     def structured_divergence(self) -> Optional[DivergenceInfo]:
         return None
 
+    def checkpoint(self):
+        """Whole-machine snapshot at the current (stopped) position."""
+        from repro.snapshot import capture
+        return capture(self.machine, extra={
+            "cursor": self.label, "base": self.base, "budget": self.budget})
+
+    def resume_clone(self, snapshot) -> "NativeCursor":
+        """Fresh cursor continuing from a checkpoint() of this cursor."""
+        from repro.snapshot import restore
+        cursor = object.__new__(NativeCursor)
+        cursor.pinball = self.pinball
+        cursor.tracker = DirtyPageTracker()
+        cursor.machine = restore(snapshot, tools=[cursor.tracker])
+        cursor.base = snapshot.extra["base"]
+        cursor.budget = snapshot.extra["budget"]
+        return cursor
+
 
 class ReplayCursor:
     """The constrained replay, advanced in instruction-count steps."""
@@ -154,6 +171,41 @@ class ReplayCursor:
                 detail="executed %d instructions, recorded %d"
                 % (thread.icount, record.region_icount))
         return None
+
+    def checkpoint(self):
+        """Whole-machine snapshot at the current (stopped) position."""
+        from repro.snapshot import capture
+        return capture(self.machine, extra={
+            "cursor": self.label, "budget": self.session.budget,
+            "injection": self.session.injection})
+
+    def resume_clone(self, snapshot) -> "ReplayCursor":
+        """Fresh cursor continuing from a checkpoint() of this cursor.
+
+        The replay's injection tool is reconstructed empty and then
+        rehydrated (per-thread syscall queues, divergence flag) by the
+        pinplay snapshot plugin during restore; the session wrapper is
+        rebuilt around the restored machine without re-running the
+        reconstruction.
+        """
+        from repro.pinplay.replayer import _InjectionTool
+        from repro.snapshot import restore
+        cursor = object.__new__(ReplayCursor)
+        cursor.pinball = self.pinball
+        session = object.__new__(ReplaySession)
+        session.pinball = self.pinball
+        session.injection = snapshot.extra.get("injection", True)
+        tool = _InjectionTool(self.pinball) if session.injection else None
+        cursor.tracker = DirtyPageTracker()
+        tools = ([tool] if tool is not None else []) + [cursor.tracker]
+        session.machine = restore(snapshot, tools=tools)
+        session.tool = tool
+        session.budget = snapshot.extra["budget"]
+        session.status = None
+        session._finished = False
+        cursor.session = session
+        cursor.machine = session.machine
+        return cursor
 
 
 @dataclass(frozen=True)
@@ -310,7 +362,8 @@ def differential_verify(make_pair: MakePair, budget: int,
                         epochs: int = DEFAULT_EPOCHS,
                         bisect: bool = True,
                         labels: Tuple[str, str] = ("native", "replay"),
-                        name: str = "") -> FidelityReport:
+                        name: str = "",
+                        time_travel: bool = True) -> FidelityReport:
     """Run two cursors in digest-checkpointed lockstep.
 
     *make_pair* builds a fresh ``(a, b)`` cursor pair in their start
@@ -319,10 +372,19 @@ def differential_verify(make_pair: MakePair, budget: int,
     itself).  On the first mismatch — digest or progress — the
     divergence is bisected to the exact instruction when *bisect* is
     set.
+
+    With *time_travel* (and cursors that support ``checkpoint()`` /
+    ``resume_clone()``), the sweep keeps a whole-machine snapshot pair
+    from the last good epoch and every bisection probe resumes from it
+    instead of rebuilding cursors from the region start — probe cost
+    becomes O(epoch) instead of O(region).
     """
     obs = hooks.OBS
     epoch_length = max(1, -(-budget // max(1, epochs)))
     a, b = make_pair()
+    can_travel = (time_travel and bisect
+                  and hasattr(a, "checkpoint") and hasattr(b, "checkpoint"))
+    last_snapshots = None
     report = FidelityReport(name=name, labels=labels, ok=True,
                             region_icount=budget,
                             epoch_length=epoch_length)
@@ -353,6 +415,11 @@ def differential_verify(make_pair: MakePair, budget: int,
             # (early region exit), which digest equality already vouches
             # for.
             break
+        if can_travel:
+            try:
+                last_snapshots = (a.checkpoint(), b.checkpoint())
+            except ValueError:
+                last_snapshots = None  # not at a resumable boundary
         index += 1
     if report.ok:
         # Digests agree everywhere; still surface a structured replay
@@ -365,8 +432,15 @@ def differential_verify(make_pair: MakePair, budget: int,
                 epoch=report.epochs[-1].index, icount=b.executed,
                 tid=info.tid, pc=info.pc, diff="", replay=info)
     elif bisect:
-        first_bad = _bisect_icount(make_pair, last_good, bad_at)
-        report.divergence = _localize(make_pair, report.first_bad_epoch,
+        probe_pair = make_pair
+        if last_snapshots is not None:
+            snap_a, snap_b = last_snapshots
+
+            def probe_pair():
+                return (a.resume_clone(snap_a), b.resume_clone(snap_b))
+
+        first_bad = _bisect_icount(probe_pair, last_good, bad_at)
+        report.divergence = _localize(probe_pair, report.first_bad_epoch,
                                       first_bad, labels)
     else:
         info = b.structured_divergence() or a.structured_divergence()
