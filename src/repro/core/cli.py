@@ -229,11 +229,120 @@ def _campaign_images(args: argparse.Namespace) -> dict:
     return {name: get_app(name).build(args.input) for name in args.app}
 
 
+def _looppoint_image(args: argparse.Namespace):
+    """(image, name) from --binary PATH or --app SUITE_NAME."""
+    if args.binary:
+        with open(args.binary, "rb") as handle:
+            return handle.read(), args.binary.rpartition("/")[2]
+    from repro.workloads import get_app
+
+    return get_app(args.app).build(args.input), args.app
+
+
+def _cmd_looppoint_profile(args: argparse.Namespace) -> int:
+    from repro.looppoint import collect_looppoint, harvest_markers
+
+    image, name = _looppoint_image(args)
+    marker_map = harvest_markers(image)
+    print("%s: module %s, %d work markers, %d sync markers (excluded)"
+          % (name, marker_map.module, len(marker_map.work_markers),
+             len(marker_map.sync_markers)))
+    for marker in marker_map.markers:
+        print("  +0x%-6x %-6s %s" % (marker.offset, marker.kind,
+                                     marker.symbol or "?"))
+    if args.markers_out:
+        with open(args.markers_out, "w") as handle:
+            json.dump(marker_map.to_json(), handle, indent=2)
+            handle.write("\n")
+        print("marker map -> %s" % args.markers_out)
+    profile = collect_looppoint(image, slice_markers=args.slice_markers,
+                                seed=args.seed, marker_map=marker_map)
+    print("%d slices of %d work-marker crossings; %d work / %d sync "
+          "crossings; %d instructions, CPI %.3f"
+          % (len(profile.slices), args.slice_markers,
+             profile.work_crossings, profile.sync_crossings,
+             profile.total_icount, profile.whole_program_cpi))
+    return 0
+
+
+def _cmd_looppoint_select(args: argparse.Namespace) -> int:
+    from repro.looppoint import collect_looppoint, select_loop_regions
+
+    image, name = _looppoint_image(args)
+    profile = collect_looppoint(image, slice_markers=args.slice_markers,
+                                seed=args.seed)
+    selection = select_loop_regions(profile, max_k=args.max_k,
+                                    seed=args.cluster_seed)
+    regions = selection.regions(warmup_slices=args.warmup_slices,
+                                name_prefix="%s.L" % name,
+                                max_alternates=args.alternates)
+    primaries = [r for r in regions if ".alt" not in r.name]
+    print("%s: %d clusters -> %d regions (+%d alternates)"
+          % (name, len(selection.clusters), len(primaries),
+             len(regions) - len(primaries)))
+    for region in primaries:
+        start, end = selection.marker_window(region.name)
+        window = "?"
+        if start and end:
+            window = "+0x%x:%d .. +0x%x:%d" % (start.offset, start.count,
+                                               end.offset, end.count)
+        print("  %-14s weight %.3f  icount [%d, %d)  markers %s"
+              % (region.name, region.weight, region.start,
+                 region.start + region.length, window))
+    if args.json:
+        def _region_json(r):
+            skip, measure = selection.measure_crossings(r.name)
+            return {"name": r.name, "start": r.start, "length": r.length,
+                    "warmup": r.warmup, "weight": r.weight,
+                    "skip": skip, "measure": measure,
+                    "markers": {
+                        side: point.to_json() if point else None
+                        for side, point in zip(
+                            ("start", "end"),
+                            selection.marker_window(r.name))}}
+
+        payload = {
+            "app": name,
+            "selector": "looppoint/v1",
+            "regions": [_region_json(r) for r in regions],
+        }
+        with open(args.json, "w") as handle:
+            json.dump(payload, handle, indent=2)
+            handle.write("\n")
+    return 0
+
+
+def _cmd_looppoint_validate(args: argparse.Namespace) -> int:
+    from repro.looppoint import run_looppoint, validate_looppoint
+
+    image, name = _looppoint_image(args)
+    result = run_looppoint(image, name, slice_markers=args.slice_markers,
+                           warmup_slices=args.warmup_slices,
+                           max_k=args.max_k,
+                           seed=args.seed, max_alternates=args.alternates,
+                           cluster_seed=args.cluster_seed)
+    validation = validate_looppoint(result, seed=args.validate_seed,
+                                    trials=args.trials)
+    print("%s: %d regions, %d ELFies" % (name, len(result.primary_regions),
+                                         len(result.elfies)))
+    print("whole-program CPI %.4f, predicted %.4f, |error| %.2f%%, "
+          "coverage %.0f%%"
+          % (validation.whole_program_cpi, validation.predicted_cpi,
+             validation.abs_error_percent, 100 * validation.covered_weight))
+    return 0 if validation.abs_error_percent <= args.max_error else 1
+
+
 def _campaign_validations(args: argparse.Namespace) -> list:
     from repro.simpoint import elfie_validation, fidelity_validation
 
-    validations = [elfie_validation("elfie", seed=args.validate_seed,
-                                    trials=args.trials)]
+    if getattr(args, "selector", "bbv-simpoint") == "looppoint":
+        from repro.looppoint import looppoint_validation
+
+        validations = [looppoint_validation("elfie", seed=args.validate_seed,
+                                            trials=args.trials)]
+    else:
+        validations = [elfie_validation("elfie", seed=args.validate_seed,
+                                        trials=args.trials)]
     if args.verify_fidelity:
         validations.append(fidelity_validation(
             "fidelity", seed=args.validate_seed,
@@ -245,7 +354,6 @@ def _cmd_farm_run(args: argparse.Namespace) -> int:
     import signal
 
     from repro.farm import FarmRunner, open_store
-    from repro.simpoint import run_pinpoints_campaign
 
     if args.shards:
         from repro.service import ShardedStore
@@ -268,19 +376,28 @@ def _cmd_farm_run(args: argparse.Namespace) -> int:
             preempt.request()
 
         signal.signal(signal.SIGTERM, _drain)
-    outcomes = run_pinpoints_campaign(
-        images, store,
+    common = dict(
         jobs=args.jobs,
         manifest_path=args.manifest,
         runner=runner,
-        slice_size=args.slice_size,
-        warmup=args.warmup,
         max_k=args.max_k,
         max_alternates=args.alternates,
         seed=args.seed,
         validations=validations,
         preemptible=args.preemptible,
     )
+    if args.selector == "looppoint":
+        from repro.looppoint import run_looppoint_campaign
+
+        outcomes = run_looppoint_campaign(
+            images, store, slice_markers=args.slice_markers,
+            warmup_slices=args.warmup_slices, **common)
+    else:
+        from repro.simpoint import run_pinpoints_campaign
+
+        outcomes = run_pinpoints_campaign(
+            images, store, slice_size=args.slice_size,
+            warmup=args.warmup, **common)
     code = _report_campaign(outcomes, args.manifest)
     if runner is not None:
         interrupted = sorted(
@@ -654,6 +771,57 @@ def build_parser() -> argparse.ArgumentParser:
     verify_corpus.add_argument("--seed", type=int, default=0)
     verify_corpus.set_defaults(func=_cmd_verify_corpus)
 
+    looppoint = sub.add_parser(
+        "looppoint",
+        help="loop-marker region selection for multi-threaded workloads")
+    looppoint_sub = looppoint.add_subparsers(dest="looppoint_command",
+                                             required=True)
+
+    def _looppoint_common(parser: argparse.ArgumentParser) -> None:
+        target = parser.add_mutually_exclusive_group(required=True)
+        target.add_argument("--binary", help="PX ELF executable to analyse")
+        target.add_argument("--app", help="suite app name, e.g. mt.prodcons")
+        parser.add_argument("--input", default="train",
+                            choices=("test", "train", "ref"))
+        parser.add_argument("--slice-markers", type=int, default=64,
+                            help="work-marker crossings per slice")
+        parser.add_argument("--seed", type=int, default=0)
+
+    lp_profile = looppoint_sub.add_parser(
+        "profile", help="harvest loop markers and profile marker slices")
+    _looppoint_common(lp_profile)
+    lp_profile.add_argument("--markers-out", default=None,
+                            help="write the module+offset marker map JSON")
+    lp_profile.set_defaults(func=_cmd_looppoint_profile)
+
+    lp_select = looppoint_sub.add_parser(
+        "select", help="cluster marker slices and pick representatives")
+    _looppoint_common(lp_select)
+    lp_select.add_argument("--max-k", type=int, default=12)
+    lp_select.add_argument("--cluster-seed", type=int, default=42)
+    lp_select.add_argument("--warmup-slices", type=int, default=1,
+                           help="warmup depth in whole marker slices")
+    lp_select.add_argument("--alternates", type=int, default=2)
+    lp_select.add_argument("--json", default=None,
+                           help="write the region list (with marker "
+                                "windows) as JSON")
+    lp_select.set_defaults(func=_cmd_looppoint_select)
+
+    lp_validate = looppoint_sub.add_parser(
+        "validate", help="capture marker-delimited ELFies and check the "
+                         "predicted-vs-true CPI error")
+    _looppoint_common(lp_validate)
+    lp_validate.add_argument("--max-k", type=int, default=12)
+    lp_validate.add_argument("--cluster-seed", type=int, default=42)
+    lp_validate.add_argument("--warmup-slices", type=int, default=1,
+                             help="warmup depth in whole marker slices")
+    lp_validate.add_argument("--alternates", type=int, default=2)
+    lp_validate.add_argument("--validate-seed", type=int, default=0)
+    lp_validate.add_argument("--trials", type=int, default=1)
+    lp_validate.add_argument("--max-error", type=float, default=100.0,
+                             help="exit nonzero if |error%%| exceeds this")
+    lp_validate.set_defaults(func=_cmd_looppoint_validate)
+
     farm = sub.add_parser(
         "farm", help="checkpoint farm: cached, parallel PinPoints campaigns")
     farm_sub = farm.add_subparsers(dest="farm_command", required=True)
@@ -668,8 +836,20 @@ def build_parser() -> argparse.ArgumentParser:
                           choices=("test", "train", "ref"))
     farm_run.add_argument("--jobs", type=int, default=None,
                           help="worker processes (default: cpu count)")
-    farm_run.add_argument("--slice-size", type=int, default=20_000)
-    farm_run.add_argument("--warmup", type=int, default=80_000)
+    farm_run.add_argument("--selector", default="bbv-simpoint",
+                          choices=("bbv-simpoint", "looppoint"),
+                          help="region-selection strategy: BBV SimPoint "
+                               "slices or loop-marker LoopPoint regions")
+    farm_run.add_argument("--slice-size", type=int, default=20_000,
+                          help="instructions per slice (bbv-simpoint)")
+    farm_run.add_argument("--slice-markers", type=int, default=64,
+                          help="work-marker crossings per slice (looppoint)")
+    farm_run.add_argument("--warmup", type=int, default=80_000,
+                          help="warmup icount before each region "
+                               "(bbv-simpoint)")
+    farm_run.add_argument("--warmup-slices", type=int, default=1,
+                          help="warmup depth in whole marker slices "
+                               "(looppoint)")
     farm_run.add_argument("--max-k", type=int, default=12)
     farm_run.add_argument("--alternates", type=int, default=2)
     farm_run.add_argument("--seed", type=int, default=0)

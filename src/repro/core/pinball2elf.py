@@ -55,6 +55,11 @@ class Pinball2ElfOptions:
     #: Link libperfle callbacks and arm the graceful-exit counters
     #: (the -t/-p wrapper scripts' common configuration).
     perf_exit: bool = False
+    #: Multiplier on each thread's armed instruction budget.  1.0 exits
+    #: exactly at the captured per-thread counts; marker-bounded regions
+    #: (LoopPoint) use > 1 so a replay under a shifted schedule is not
+    #: cut off before its work-marker crossings complete.
+    perf_exit_slack: float = 1.0
     #: -e elfie_on_exit: create a monitor thread that watches for
     #: application exit and then runs elfie_on_exit.
     monitor: bool = False
@@ -193,6 +198,7 @@ class Pinball2Elf:
             self.pinball,
             marker=options.marker,
             perf_exit=options.perf_exit,
+            perf_exit_slack=options.perf_exit_slack,
             with_monitor=options.monitor,
             sysstate=options.sysstate,
             user_code=options.user_code,
@@ -210,6 +216,7 @@ class Pinball2Elf:
             self.pinball,
             marker=options.marker,
             perf_exit=options.perf_exit,
+            perf_exit_slack=options.perf_exit_slack,
             with_monitor=options.monitor,
             sysstate=options.sysstate,
             user_code=options.user_code,

@@ -100,6 +100,7 @@ class StartupGenerator:
     def __init__(self, pinball: Pinball,
                  marker: Optional[MarkerSpec] = None,
                  perf_exit: bool = False,
+                 perf_exit_slack: float = 1.0,
                  with_monitor: bool = False,
                  sysstate: Optional[SysState] = None,
                  user_code: Optional[str] = None,
@@ -109,6 +110,7 @@ class StartupGenerator:
         self.pinball = pinball
         self.marker = marker
         self.perf_exit = perf_exit
+        self.perf_exit_slack = perf_exit_slack
         self.with_monitor = with_monitor
         self.sysstate = sysstate
         self.user_code = user_code
@@ -256,8 +258,15 @@ __elfie_copy_{index}:
             if want_thread_cb:
                 budget = 0
                 if self.perf_exit:
-                    budget = (record.region_icount + len(tail)
-                              + PERFLE_CALLBACK_TAIL)
+                    # Slack > 1 keeps the graceful exit as a backstop
+                    # while letting a replay under a different schedule
+                    # (where spin redistributes per-thread icounts) run
+                    # past the captured per-thread counts — needed when
+                    # the region end is marker-metered, not icount-
+                    # metered (LoopPoint).
+                    budget = (int(record.region_icount
+                                  * self.perf_exit_slack)
+                              + len(tail) + PERFLE_CALLBACK_TAIL)
                 lines.append(f"    mov rsp, __elfie_cbstack_{position}_top")
                 lines.append(f"    mov rdi, {budget}")
                 lines.append(f"    mov rsi, {position}")

@@ -83,6 +83,10 @@ class Job:
     local: bool = False
     #: Pipeline stage label for the manifest ("profile", "log", ...).
     stage: str = ""
+    #: Region-selector identity ("bbv-simpoint/v1", "looppoint/v1") for
+    #: the manifest; campaigns also fold it into memo keys so artifacts
+    #: from different selectors never collide in the store.
+    selector: str = ""
     #: Parent-side callback ``expand(result, graph, results)`` invoked
     #: on completion (cache hits included); may add downstream jobs.
     expand: Optional[Callable[[Any, "JobGraph", Dict[str, Any]], None]] = None

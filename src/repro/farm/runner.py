@@ -150,6 +150,7 @@ class FarmRunner:
             self.manifest.append({
                 "job": job.name,
                 "stage": job.stage,
+                "selector": job.selector,
                 "key": job.key,
                 "state": state,
                 "cache": cache,

@@ -18,7 +18,7 @@ This package provides the full selection pipeline:
 """
 
 from repro.simpoint.bbv import BBVProfile, collect_bbv
-from repro.simpoint.kmeans import KMeansResult, cluster_vectors
+from repro.simpoint.kmeans import KMeansResult, cluster_points, cluster_vectors
 from repro.simpoint.simpoint import SimPointResult, pick_regions, select_simpoints
 from repro.simpoint.pinpoints import (
     FarmAppOutcome,
@@ -43,6 +43,7 @@ __all__ = [
     "BBVProfile",
     "collect_bbv",
     "KMeansResult",
+    "cluster_points",
     "cluster_vectors",
     "SimPointResult",
     "pick_regions",

@@ -17,10 +17,20 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
+from repro.elf.reader import ElfFile
+from repro.elf.structs import PF_X, PT_LOAD
 from repro.machine.loader import load_elf
 from repro.machine.machine import Machine
 from repro.machine.tool import Tool
 from repro.machine.vfs import FileSystem
+
+
+def _text_base(image: bytes) -> int:
+    """Lowest executable-segment address: the module's code base."""
+    elf = ElfFile(image)
+    bases = [s.p_vaddr for s in elf.segments
+             if s.p_type == PT_LOAD and s.p_flags & PF_X]
+    return min(bases) if bases else 0
 
 
 class _BlockCounter(Tool):
@@ -31,14 +41,19 @@ class _BlockCounter(Tool):
     loop equals the static block length (the standard BBV weighting).
     A block-only tool: it needs no per-instruction callback, so BBV
     profiling runs on the interpreter's superblock fast path.
+
+    Vector keys are module+offset-relative (block pc minus the module's
+    text base), so a profile of the same module loaded at a different
+    base — ASLR — produces identical vectors.
     """
 
     wants_instructions = False
     wants_blocks = True
 
-    def __init__(self) -> None:
+    def __init__(self, module_base: int = 0) -> None:
+        self.module_base = module_base
         self.current: Dict[int, int] = {}
-        self._open_block: Dict[int, int] = {}   # tid -> block pc
+        self._open_block: Dict[int, int] = {}   # tid -> block offset
         self._open_icount: Dict[int, int] = {}  # tid -> icount at entry
 
     def on_basic_block(self, machine, thread, pc) -> None:
@@ -49,7 +64,7 @@ class _BlockCounter(Tool):
             if retired:
                 self.current[previous] = (
                     self.current.get(previous, 0) + retired)
-        self._open_block[tid] = pc
+        self._open_block[tid] = pc - self.module_base
         self._open_icount[tid] = thread.icount
 
     def take(self, machine) -> Dict[int, int]:
@@ -71,7 +86,9 @@ class BBVProfile:
     """Result of a whole-program BBV profiling run."""
 
     slice_size: int
-    #: One frequency vector per slice: block pc -> weighted count.
+    #: One frequency vector per slice: block offset (pc relative to
+    #: ``module_base``) -> weighted count.  Module-relative keys make
+    #: profiles comparable across load addresses (ASLR).
     vectors: List[Dict[int, int]]
     #: Cycles consumed by each slice (same hardware timing model).
     slice_cycles: List[int]
@@ -81,6 +98,8 @@ class BBVProfile:
     total_icount: int = 0
     total_cycles: int = 0
     exit_kind: str = "exit"
+    #: Text base the block offsets are relative to.
+    module_base: int = 0
 
     @property
     def num_slices(self) -> int:
@@ -134,7 +153,7 @@ def collect_bbv(image: bytes, slice_size: int, seed: int = 0,
     cycles_before = 0
     start_index = 0
     machine = None
-    counter = _BlockCounter()
+    counter = _BlockCounter(module_base=_text_base(image))
     if preemptible:
         from repro.snapshot import preempt, restore
         parked = preempt.take_resume(kind="bbv")
@@ -187,4 +206,5 @@ def collect_bbv(image: bytes, slice_size: int, seed: int = 0,
         total_icount=machine.executed_total,
         total_cycles=machine.total_cycles(),
         exit_kind=status.kind if status else "exit",
+        module_base=counter.module_base,
     )

@@ -60,9 +60,28 @@ def project_vectors(vectors: Sequence[Dict[int, int]],
     return dense @ projection
 
 
+def _weighted_index(weights: np.ndarray, rng: np.random.RandomState) -> int:
+    """Draw an index proportionally to *weights* via inverse-CDF search.
+
+    Equivalent to ``rng.choice(n, p=weights/total)`` but byte-stable:
+    the only float operations are a cumulative sum and one comparison
+    sweep, both evaluated in a fixed order, so the same seed picks the
+    same index on every host (``choice`` renormalizes ``p`` internally,
+    which has been observed to flip ties across numpy builds).
+    """
+    edges = np.cumsum(weights)
+    draw = rng.random_sample() * edges[-1]
+    return min(int(np.searchsorted(edges, draw, side="right")),
+               len(edges) - 1)
+
+
 def _kmeans_once(points: np.ndarray, k: int, seed: int,
                  iterations: int = 60) -> KMeansResult:
     n = points.shape[0]
+    # The *only* randomness in the whole clustering stage: one explicit
+    # RandomState per (points, k) run.  Region selection must be
+    # byte-reproducible across runs and hosts — global numpy RNG state
+    # must never leak in.
     rng = np.random.RandomState(seed)
     # k-means++ seeding
     centroids = [points[rng.randint(n)]]
@@ -74,8 +93,7 @@ def _kmeans_once(points: np.ndarray, k: int, seed: int,
         if total <= 0:
             centroids.append(points[rng.randint(n)])
             continue
-        probs = dists / total
-        centroids.append(points[rng.choice(n, p=probs)])
+        centroids.append(points[_weighted_index(dists, rng)])
     centers = np.array(centroids)
 
     labels = np.zeros(n, dtype=int)
@@ -134,6 +152,19 @@ def cluster_vectors(vectors: Sequence[Dict[int, int]], max_k: int = 50,
     if not vectors:
         raise ValueError("no vectors to cluster")
     points = project_vectors(vectors, dim=dim, seed=seed)
+    return cluster_points(points, max_k=max_k, seed=seed)
+
+
+def cluster_points(points: np.ndarray, max_k: int = 50,
+                   seed: int = 42) -> KMeansResult:
+    """BIC-selected k-means over already-projected points.
+
+    Shared by SimPoint (random-projected BBVs) and LoopPoint
+    (PCA-projected marker vectors): the clustering and model-selection
+    machinery is identical, only the feature pipeline differs.
+    """
+    if len(points) == 0:
+        raise ValueError("no points to cluster")
     n = points.shape[0]
     candidates: List[KMeansResult] = []
     for k in range(1, min(max_k, n) + 1):

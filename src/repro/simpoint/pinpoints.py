@@ -35,6 +35,12 @@ from repro.pinplay.regions import RegionSpec
 from repro.simpoint.bbv import BBVProfile, collect_bbv
 from repro.simpoint.simpoint import SimPointResult, select_simpoints
 
+#: Region-selector identity/version for this pipeline.  Farm memo keys
+#: lead with it (and manifests record it), so BBV-SimPoint artifacts
+#: and LoopPoint artifacts for the same workload never collide in the
+#: store.  Bump the version when the selection algorithm changes.
+REGION_SELECTOR = "bbv-simpoint/v1"
+
 
 @dataclass
 class PinPointsResult:
@@ -297,19 +303,22 @@ def add_pinpoints_jobs(graph: JobGraph, image: bytes, app_name: str,
     ``<app>/validate/<label>``.
     """
     marker = marker or MarkerSpec("sniper", 0xE1F)
-    workload_key = stable_digest({"image": image, "app": app_name})
+    workload_key = stable_digest({"image": image, "app": app_name,
+                                  "selector": REGION_SELECTOR})
     profile_name = "%s/profile" % app_name
     select_name = "%s/select" % app_name
     graph.add(Job(
         name=profile_name,
         fn=_job_profile,
         args=(image, slice_size, seed),
-        key=stable_digest(["pinpoints.profile", workload_key,
-                           slice_size, seed]),
+        key=stable_digest([REGION_SELECTOR, "pinpoints.profile",
+                           workload_key, slice_size, seed]),
         stage="profile",
+        selector=REGION_SELECTOR,
     ))
 
     pipeline_spec = {
+        "selector": REGION_SELECTOR,
         "workload": workload_key,
         "slice_size": slice_size, "warmup": warmup, "max_k": max_k,
         "seed": seed, "cluster_seed": cluster_seed,
@@ -334,12 +343,13 @@ def add_pinpoints_jobs(graph: JobGraph, image: bytes, app_name: str,
                 name=group_name,
                 fn=_job_log_group,
                 args=(image, list(group), seed, profile.total_icount),
-                key=stable_digest(["pinpoints.log", workload_key, seed,
-                                   {"fat": True},
+                key=stable_digest([REGION_SELECTOR, "pinpoints.log",
+                                   workload_key, seed, {"fat": True},
                                    [_region_spec_tuple(r) for r in group]]),
                 kind="pinballs",
                 deps=(select_name,),
                 stage="log",
+                selector=REGION_SELECTOR,
             ))
             group_names.append(group_name)
             for region in group:
@@ -350,13 +360,15 @@ def add_pinpoints_jobs(graph: JobGraph, image: bytes, app_name: str,
                     args=(Ref(group_name,
                               select=lambda pbs, n=region.name: pbs.get(n)),
                           perf_exit, marker.marker_type, marker.tag),
-                    key=stable_digest(["pinpoints.elfie", workload_key,
+                    key=stable_digest([REGION_SELECTOR, "pinpoints.elfie",
+                                       workload_key,
                                        _region_spec_tuple(region), seed,
                                        {"fat": True},
                                        {"perf_exit": perf_exit,
                                         "marker": [marker.marker_type,
                                                    marker.tag]}]),
                     stage="convert",
+                    selector=REGION_SELECTOR,
                 ))
                 convert_refs[region.name] = Ref(convert_name)
         assemble_name = "%s/assemble" % app_name
@@ -368,6 +380,7 @@ def add_pinpoints_jobs(graph: JobGraph, image: bytes, app_name: str,
                   convert_refs),
             local=True,
             stage="assemble",
+            selector=REGION_SELECTOR,
         ))
         for validation in validations:
             graph.add(Job(
@@ -375,22 +388,25 @@ def add_pinpoints_jobs(graph: JobGraph, image: bytes, app_name: str,
                 fn=_job_validate,
                 args=(validation.fn, Ref(assemble_name), image,
                       dict(validation.params)),
-                key=stable_digest(["pinpoints.validate", pipeline_spec,
-                                   validation.label,
+                key=stable_digest([REGION_SELECTOR, "pinpoints.validate",
+                                   pipeline_spec, validation.label,
                                    "%s.%s" % (validation.fn.__module__,
                                               validation.fn.__qualname__),
                                    validation.params]),
                 stage="validate",
+                selector=REGION_SELECTOR,
             ))
 
     graph.add(Job(
         name=select_name,
         fn=_job_select,
         args=(Ref(profile_name), max_k, cluster_seed),
-        key=stable_digest(["pinpoints.select", workload_key, slice_size,
-                           seed, max_k, cluster_seed]),
+        key=stable_digest([REGION_SELECTOR, "pinpoints.select",
+                           workload_key, slice_size, seed, max_k,
+                           cluster_seed]),
         stage="cluster",
         expand=expand_selection,
+        selector=REGION_SELECTOR,
     ))
     return "%s/assemble" % app_name
 

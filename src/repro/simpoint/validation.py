@@ -41,11 +41,17 @@ def prediction_error(true_value: float, predicted: float) -> float:
 class _RegionMeter(Tool):
     """Measures cycles over the captured region, skipping the warmup.
 
-    Watches the ROI marker; once the owning thread has retired
-    ``warmup`` post-marker instructions the meter starts, and after
-    ``length`` more it stops the machine.  Cycle counts come from the
-    simulated hardware timing model, so attaching this tool does not
-    perturb the measurement (unlike a real Pintool).
+    Watches the ROI marker; once ``warmup`` post-marker instructions
+    have retired *machine-wide* the meter starts, and after ``length``
+    more it stops the machine.  Progress is global (summed over all
+    threads) because region windows are defined in global instruction
+    counts: for a multi-threaded ELFie each thread retires only a
+    fraction of the window, and the ELFie's perf-counter exit fires on
+    the global count — a per-thread meter would never finish.  For a
+    single-threaded ELFie global and per-thread progress coincide, so
+    the measurement is unchanged.  Cycle counts come from the simulated
+    hardware timing model, so attaching this tool does not perturb the
+    measurement (unlike a real Pintool).
     """
 
     wants_instructions = True
@@ -54,9 +60,9 @@ class _RegionMeter(Tool):
         self.warmup = warmup
         self.length = length
         self.tid: Optional[int] = None
-        self._roi_icount = 0
         self.start_cycles: Optional[int] = None
         self.end_cycles: Optional[int] = None
+        self._base = 0
         self._start_at = 0
         self._end_at = 0
 
@@ -64,17 +70,17 @@ class _RegionMeter(Tool):
         if self.tid is None:
             if insn.op is Op.MARKER:
                 self.tid = thread.tid
-                self._start_at = thread.icount + self.warmup
-                self._end_at = self._start_at + self.length
+                self._base = machine.total_icount()
+                self._start_at = self.warmup
+                self._end_at = self.warmup + self.length
             return
-        if thread.tid != self.tid:
-            return
+        progress = machine.total_icount() - self._base
         if self.start_cycles is None:
-            if thread.icount >= self._start_at:
-                self.start_cycles = thread.cycles
+            if progress >= self._start_at:
+                self.start_cycles = machine.total_cycles()
             return
-        if self.end_cycles is None and thread.icount >= self._end_at:
-            self.end_cycles = thread.cycles
+        if self.end_cycles is None and progress >= self._end_at:
+            self.end_cycles = machine.total_cycles()
             machine.request_stop("region measured")
 
     @property
@@ -93,6 +99,11 @@ class RegionMeasurement:
     ok: bool
     detail: str = ""
     used_alternate: Optional[str] = None
+    #: Work-denominated rates (LoopPoint marker metering only): cycles
+    #: and retired instructions per work-marker crossing over the
+    #: measured window.  None for icount-metered measurements.
+    cycles_per_work: Optional[float] = None
+    icount_per_work: Optional[float] = None
 
 
 @dataclass

@@ -47,6 +47,7 @@ ALL_FEATURES: Tuple[str, ...] = (
     "smc",        # copy code into an RWX mapping and call it
     "futex",      # worker threads + futex wait/wake handshakes
     "pmu",        # mid-block PMU trap ends the program via a handler
+    "loops",      # counted work loops (harvestable back-edge markers)
 )
 
 _INPUT_PATH = "/fuzz_in.dat"
@@ -65,6 +66,11 @@ class FuzzCase:
     region_pos: int = 10
     #: Region length as a percentage of the program's total icount.
     region_len_pct: int = 50
+    #: Marker-delimited region: instead of cutting the window on the
+    #: percentage icounts directly, snap both boundaries to work-marker
+    #: crossings (LoopPoint slice boundaries harvested from the image).
+    #: Exercises marker-delimited ELFie regions through the verifier.
+    region_marker: bool = False
 
     @property
     def name(self) -> str:
@@ -78,6 +84,7 @@ class FuzzCase:
             "features": list(self.features),
             "region_pos": self.region_pos,
             "region_len_pct": self.region_len_pct,
+            "region_marker": self.region_marker,
         }
 
     @classmethod
@@ -89,6 +96,7 @@ class FuzzCase:
             features=tuple(data.get("features", ("arith",))),
             region_pos=data.get("region_pos", 10),
             region_len_pct=data.get("region_len_pct", 50),
+            region_marker=data.get("region_marker", False),
         )
 
 
@@ -117,13 +125,19 @@ def generate_case(seed: int) -> FuzzCase:
     count = rng.randint(1, min(4, len(pool)))
     features = ("arith",) + tuple(sorted(rng.sample(pool, count)))
     threads = rng.randint(2, 3) if "futex" in features else 1
+    iterations = rng.randint(1, 6)
+    region_pos = rng.randint(0, 60)
+    region_len_pct = rng.randint(10, 90)
+    # Marker-delimited regions need harvestable work loops to land on.
+    region_marker = "loops" in features and rng.random() < 0.5
     return FuzzCase(
         seed=seed,
         threads=threads,
-        iterations=rng.randint(1, 6),
+        iterations=iterations,
         features=features,
-        region_pos=rng.randint(0, 60),
-        region_len_pct=rng.randint(10, 90),
+        region_pos=region_pos,
+        region_len_pct=region_len_pct,
+        region_marker=region_marker,
     )
 
 
@@ -177,6 +191,17 @@ def _main_action(feature: str, rng: random.Random, index: int,
             lines += ["    mov rax, 10         ; mprotect(r13, 4096, R)",
                       "    mov rdi, r13", "    mov rsi, 4096",
                       "    mov rdx, 1", "    syscall"]
+    elif feature == "loops":
+        trips = rng.randint(3, 9)
+        step = rng.randint(1, 63)
+        lines += [
+            "    mov rcx, %d" % trips,
+            "loop_%d:" % index,
+            "    add rbx, %d" % step,
+            "    sub rcx, 1",
+            "    cmp rcx, 0",
+            "    jnz loop_%d" % index,
+        ]
     elif feature == "smc":
         lines += [
             "    mov rax, 9          ; mmap(0, 4096, RWX, PRIV|ANON)",
@@ -313,6 +338,36 @@ def _measure(image: bytes, fs: FileSystem, seed: int) -> Optional[int]:
     return machine.executed_total
 
 
+def _pick_marker_region(case: FuzzCase, image: bytes, fs: FileSystem,
+                        seed: int) -> Optional[RegionSpec]:
+    """A region whose boundaries land on work-marker crossings.
+
+    Harvests the image's loop markers, profiles marker-delimited slices
+    (a small slice granule — fuzz loops are short), and snaps the
+    percentage window to slice boundaries: the start is a slice start,
+    the end an *interior* slice boundary, so both edges are exact
+    work-loop crossing counts the LoopPoint replay meter can find.
+    """
+    from repro.looppoint.profile import collect_looppoint
+    profile = collect_looppoint(image, slice_markers=4, seed=seed, fs=fs)
+    slices = profile.slices
+    if len(slices) < 2:
+        return None  # loop-free: no interior marker boundary to cut at
+    start_index = min(case.region_pos * len(slices) // 100,
+                      len(slices) - 2)
+    start = slices[start_index].start_icount
+    target = max(1, profile.total_icount * case.region_len_pct // 100)
+    end_index = start_index
+    while (end_index < len(slices) - 2
+           and slices[end_index].end_icount - start < target):
+        end_index += 1
+    length = slices[end_index].end_icount - start
+    if length < 4:
+        return None
+    return RegionSpec(start=start, length=length, warmup=0,
+                      name=case.name)
+
+
 def _pick_region(case: FuzzCase, total: int) -> Optional[RegionSpec]:
     if total < 16:
         return None
@@ -338,11 +393,18 @@ def run_case(case: FuzzCase, seed: int = 0,
     if total is None:
         return FuzzOutcome(case=case, ok=False, stage="build",
                            detail="native run did not exit gracefully")
-    region = _pick_region(case, total)
-    if region is None:
-        return FuzzOutcome(case=case, ok=False, stage="build",
-                           detail="program too short (%d instructions)"
-                           % total)
+    if case.region_marker:
+        region = _pick_marker_region(case, image, _case_fs(case), seed)
+        if region is None:
+            return FuzzOutcome(case=case, ok=False, stage="build",
+                               detail="no interior work-marker boundary "
+                                      "for a marker-delimited region")
+    else:
+        region = _pick_region(case, total)
+        if region is None:
+            return FuzzOutcome(case=case, ok=False, stage="build",
+                               detail="program too short (%d instructions)"
+                               % total)
     try:
         pinball = log_region(image, region, seed=seed, fs=_case_fs(case),
                              options=LogOptions(name=case.name))
@@ -387,6 +449,8 @@ def _reductions(case: FuzzCase) -> List[FuzzCase]:
         out.append(replace(case, threads=case.threads - 1))
     if case.iterations > 1:
         out.append(replace(case, iterations=case.iterations // 2))
+    if case.region_marker:
+        out.append(replace(case, region_marker=False))
     if case.region_pos > 0:
         out.append(replace(case, region_pos=0))
     if case.region_len_pct < 100:

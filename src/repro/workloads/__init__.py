@@ -18,6 +18,7 @@ from repro.workloads.spec import (
     SPEC2006_SUBSET,
     get_app,
 )
+from repro.workloads.mt import MTApp, MT_APPS, get_mt_app
 
 __all__ = [
     "build_executable",
@@ -33,4 +34,7 @@ __all__ = [
     "SPEC2017_OMP_SPEED",
     "SPEC2006_SUBSET",
     "get_app",
+    "MTApp",
+    "MT_APPS",
+    "get_mt_app",
 ]

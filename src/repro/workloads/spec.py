@@ -218,9 +218,18 @@ _ALL_SUITES = (SPEC2017_INT_RATE, SPEC2017_FP_RATE, SPEC2017_OMP_SPEED,
                SPEC2006_SUBSET)
 
 
-def get_app(name: str) -> SpecApp:
-    """Look up an app in any suite by its full name."""
+def get_app(name: str):
+    """Look up an app in any suite by its full name.
+
+    Covers the SPEC-like suites and the irregular-MT suite
+    (:mod:`repro.workloads.mt`); both app kinds expose the same
+    ``build(input_set)`` / ``estimated_instructions(input_set)``
+    surface and a ``threads`` attribute.
+    """
     for suite in _ALL_SUITES:
         if name in suite:
             return suite[name]
+    from repro.workloads.mt import MT_APPS  # deferred: mt imports us
+    if name in MT_APPS:
+        return MT_APPS[name]
     raise KeyError("unknown benchmark %r" % name)

@@ -1,0 +1,352 @@
+"""Tests for the LoopPoint subsystem (repro.looppoint).
+
+Covers the full stack: static marker harvesting (module+offset-relative
+maps, spin/futex classification), the marker-slice profiler and its
+spin-exclusion invariance, deterministic selection, marker-denominated
+region windows, the direct and farm-backed pipelines, marker-metered
+ELFie validation, replay fidelity of marker-delimited regions, and the
+CLI front-end.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core.cli import main
+from repro.farm import ArtifactStore, executed_jobs, read_manifest
+from repro.looppoint import (
+    MarkerMap,
+    MarkerPoint,
+    REGION_SELECTOR,
+    collect_looppoint,
+    harvest_markers,
+    pca_project,
+    run_looppoint,
+    run_looppoint_campaign,
+    select_loop_regions,
+    validate_looppoint,
+)
+from repro.verify import verify_pinball
+from repro.workloads import MT_APPS, build_executable
+
+#: A program with one work loop, one pause-spin loop, and one futex
+#: wait loop: one marker of each classification.
+MARKER_ZOO = """
+_start:
+    mov rcx, 40
+work:
+    add rbx, 3
+    sub rcx, 1
+    cmp rcx, 0
+    jnz work
+    mov rcx, 6
+spin:
+    pause
+    sub rcx, 1
+    cmp rcx, 0
+    jnz spin
+fwait:
+    ld4 rcx, [flag]
+    cmp rcx, 0
+    jnz done
+    mov rax, 202
+    mov rdi, flag
+    mov rsi, 1
+    mov rdx, 0
+    syscall
+    jmp fwait
+done:
+    mov rax, 231
+    mov rdi, 0
+    syscall
+"""
+
+MARKER_ZOO_DATA = "flag:\n    .quad 1\n"
+
+
+@pytest.fixture(scope="module")
+def zoo_image():
+    return build_executable(MARKER_ZOO, data_source=MARKER_ZOO_DATA)
+
+
+@pytest.fixture(scope="module")
+def mt_image():
+    return MT_APPS["mt.prodcons"].build("test")
+
+
+@pytest.fixture(scope="module")
+def mt_profile(mt_image):
+    return collect_looppoint(mt_image, slice_markers=64, seed=0)
+
+
+# -- harvesting -----------------------------------------------------------
+
+
+def test_harvest_classifies_work_spin_futex(zoo_image):
+    marker_map = harvest_markers(zoo_image)
+    kinds = sorted(m.kind for m in marker_map.markers)
+    assert kinds == ["futex", "loop", "spin"]
+    work = marker_map.work_markers
+    assert len(work) == 1
+    assert work[0].symbol == "work"
+    assert {m.symbol for m in marker_map.sync_markers} == {"spin", "fwait"}
+
+
+def test_marker_map_json_round_trip(zoo_image):
+    marker_map = harvest_markers(zoo_image)
+    restored = MarkerMap.from_json(
+        json.loads(json.dumps(marker_map.to_json())))
+    assert restored.module == marker_map.module
+    assert restored.text_base == marker_map.text_base
+    assert restored.version == marker_map.version
+    assert restored.markers == marker_map.markers
+
+
+def test_marker_point_json_round_trip():
+    point = MarkerPoint(module="ab12", offset=0x40, count=1234)
+    assert MarkerPoint.from_json(point.to_json()) == point
+
+
+def test_marker_offsets_survive_rebase(zoo_image):
+    # the ASLR prerequisite: offsets are module-relative, so resolving
+    # the same map at a shifted load base shifts every address by
+    # exactly the slide and nothing else
+    marker_map = harvest_markers(zoo_image)
+    base = marker_map.text_base
+    slide = 0x555000
+    normal = marker_map.resolve()
+    slid = marker_map.resolve(base + slide)
+    assert set(slid) == {addr + slide for addr in normal}
+    for addr, marker in normal.items():
+        assert slid[addr + slide] == marker
+    assert (marker_map.work_addresses(base + slide)
+            == {a + slide for a in marker_map.work_addresses()})
+
+
+def test_harvest_is_content_addressed(zoo_image):
+    a = harvest_markers(zoo_image)
+    b = harvest_markers(zoo_image)
+    assert a.module == b.module
+    assert a.markers == b.markers
+
+
+# -- profiling and spin exclusion -----------------------------------------
+
+
+def test_profile_cuts_slices_on_crossing_multiples(mt_profile):
+    assert mt_profile.slices, "MT app must cross work markers"
+    # every non-trailing slice holds exactly slice_markers crossings
+    for chunk in mt_profile.slices[:-1]:
+        assert sum(chunk.vector.values()) == mt_profile.slice_markers
+    # slices partition the run: contiguous, monotonically increasing
+    for before, after in zip(mt_profile.slices, mt_profile.slices[1:]):
+        assert before.end_icount == after.start_icount
+        assert before.icount > 0
+
+
+def test_sync_crossings_excluded_from_vectors(mt_profile):
+    marker_map = mt_profile.marker_map
+    assert marker_map.sync_markers, "MT apps spin: sync markers expected"
+    assert mt_profile.sync_crossings > 0
+    sync_offsets = {m.offset for m in marker_map.sync_markers}
+    for chunk in mt_profile.slices:
+        assert not sync_offsets & set(chunk.vector)
+
+
+def test_spin_delay_does_not_change_marker_vectors(mt_profile):
+    # the satellite invariant: a workload whose ONLY variation is how
+    # long its spin loops wind produces byte-identical work vectors —
+    # spin time is excluded from the features by construction
+    app = MT_APPS["mt.prodcons"]
+    slow = collect_looppoint(app.with_spin_delay(app.spin_delay * 5)
+                             .build("test"),
+                             slice_markers=64, seed=0)
+    assert slow.total_icount > mt_profile.total_icount  # spinning costs
+    assert slow.work_crossings == mt_profile.work_crossings
+    assert len(slow.slices) == len(mt_profile.slices)
+
+    def totals(profile):
+        out = {}
+        for chunk in profile.slices:
+            for offset, count in chunk.vector.items():
+                out[offset] = out.get(offset, 0) + count
+        return out
+
+    # whole-run per-marker work totals are byte-identical: the delay
+    # only winds sync loops, which the vectors exclude
+    assert totals(slow) == totals(mt_profile)
+    # per-slice vectors are near-identical — crossings near a slice
+    # edge may migrate across it as the interleaving stretches, but
+    # never more than a small fraction of the slice
+    for fast_chunk, slow_chunk in zip(mt_profile.slices, slow.slices):
+        drift = sum(abs(fast_chunk.vector.get(k, 0)
+                        - slow_chunk.vector.get(k, 0))
+                    for k in set(fast_chunk.vector) | set(slow_chunk.vector))
+        assert drift <= mt_profile.slice_markers // 4
+
+
+# -- selection -------------------------------------------------------------
+
+
+def test_pca_projection_is_deterministic(mt_profile):
+    a = pca_project(mt_profile.vectors, dim=4)
+    b = pca_project(mt_profile.vectors, dim=4)
+    assert a.tobytes() == b.tobytes()
+
+
+def test_selection_is_byte_reproducible(mt_profile):
+    a = select_loop_regions(mt_profile, max_k=6, seed=42)
+    b = select_loop_regions(mt_profile, max_k=6, seed=42)
+    assert a.kmeans.labels.tobytes() == b.kmeans.labels.tobytes()
+    assert np.array_equal(a.kmeans.centroids, b.kmeans.centroids)
+    assert [(c.cluster_id, c.weight, c.candidates) for c in a.clusters] \
+        == [(c.cluster_id, c.weight, c.candidates) for c in b.clusters]
+    assert a.regions(warmup_slices=1) == b.regions(warmup_slices=1)
+
+
+def test_cluster_weights_are_crossing_shares(mt_profile):
+    selection = select_loop_regions(mt_profile, max_k=6, seed=42)
+    total = sum(sum(s.vector.values()) for s in mt_profile.slices)
+    weights = [c.weight for c in selection.clusters]
+    assert abs(sum(weights) - 1.0) < 1e-9
+    # one cluster's weight recomputed by hand
+    cluster = selection.clusters[0]
+    members = selection.kmeans.members(cluster.cluster_id)
+    share = sum(sum(mt_profile.slices[int(m)].vector.values())
+                for m in members) / total
+    assert cluster.weight == pytest.approx(share)
+
+
+def test_regions_are_marker_denominated(mt_profile):
+    selection = select_loop_regions(mt_profile, max_k=6, seed=42)
+    regions = selection.regions(warmup_slices=2)
+    assert regions
+    for region in regions:
+        index = selection.slice_of[region.name]
+        chunk = mt_profile.slices[index]
+        # boundaries land exactly on slice (= crossing-count) edges
+        assert region.start == chunk.start_icount
+        assert region.length == chunk.icount
+        depth = selection.warmup_slices_of[region.name]
+        assert depth == min(2, index)
+        assert region.warmup == (chunk.start_icount
+                                 - mt_profile.slices[index - depth]
+                                 .start_icount)
+        skip, measure = selection.measure_crossings(region.name)
+        assert skip == depth * mt_profile.slice_markers
+        assert measure == sum(chunk.vector.values())
+
+
+# -- pipeline + marker-metered validation ---------------------------------
+
+
+@pytest.fixture(scope="module")
+def mt_result(mt_image):
+    return run_looppoint(mt_image, "mt.prodcons", slice_markers=64,
+                         max_k=4, seed=0, max_alternates=1)
+
+
+def test_run_looppoint_produces_marker_bounded_elfies(mt_result):
+    assert mt_result.primary_regions
+    assert set(mt_result.elfies) == {r.name for r in mt_result.regions}
+    for region in mt_result.regions:
+        window = mt_result.marker_windows[region.name]
+        assert window["measure"] > 0
+        assert window["skip"] >= 0
+        start, end = mt_result.marker_window(region.name)
+        # interior boundaries are (module+offset, count) marker points
+        if window["start"] is not None:
+            assert start.module == mt_result.profile.marker_map.module
+            assert start.count > 0
+
+
+def test_validate_looppoint_marker_metered(mt_result):
+    validation = validate_looppoint(mt_result, seed=7, trials=1)
+    assert validation.covered_weight == pytest.approx(1.0)
+    for measurement in validation.measurements:
+        assert measurement.ok, measurement.detail
+        assert measurement.cycles_per_work is not None
+        assert measurement.icount_per_work is not None
+    # the ratio prediction lands near the truth even under a replay
+    # schedule the profiler never saw
+    assert validation.abs_error_percent < 30.0
+
+
+def test_marker_delimited_region_replays_bit_identical(mt_result, mt_image):
+    # satellite: a marker-delimited region through the differential
+    # verifier — captured pinball replay must be lockstep-identical
+    region = mt_result.primary_regions[0]
+    pinball = mt_result.pinballs[region.name]
+    report = verify_pinball(mt_image, pinball, seed=0)
+    assert report.ok, report.divergence
+
+
+# -- farm campaign ---------------------------------------------------------
+
+
+def test_campaign_stamps_selector_and_memoizes(mt_image, tmp_path):
+    store = ArtifactStore(str(tmp_path / "store"))
+    images = {"mt.prodcons": mt_image}
+    kwargs = dict(slice_markers=64, max_k=4, seed=0, max_alternates=0)
+    cold_manifest = str(tmp_path / "cold.jsonl")
+    cold = run_looppoint_campaign(images, store, jobs=1,
+                                  manifest_path=cold_manifest, **kwargs)
+    assert "mt.prodcons" in cold
+    records = read_manifest(cold_manifest)
+    assert records
+    assert all(r["selector"] == REGION_SELECTOR for r in records)
+    assert executed_jobs(records, "convert")
+    # warm rerun: everything memoized, nothing re-executed
+    warm_manifest = str(tmp_path / "warm.jsonl")
+    warm = run_looppoint_campaign(images, store, jobs=1,
+                                  manifest_path=warm_manifest, **kwargs)
+    warm_records = read_manifest(warm_manifest)
+    assert not executed_jobs(warm_records, "profile")
+    assert not executed_jobs(warm_records, "log")
+    assert not executed_jobs(warm_records, "convert")
+    cold_regions = [r.name for r in cold["mt.prodcons"].result.regions]
+    warm_regions = [r.name for r in warm["mt.prodcons"].result.regions]
+    assert cold_regions == warm_regions
+
+
+# -- CLI -------------------------------------------------------------------
+
+
+def test_cli_looppoint_profile(tmp_path, capsys):
+    markers_out = str(tmp_path / "markers.json")
+    code = main(["looppoint", "profile", "--app", "mt.prodcons",
+                 "--input", "test", "--markers-out", markers_out])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "work markers" in out
+    assert "sync markers (excluded)" in out
+    with open(markers_out) as handle:
+        restored = MarkerMap.from_json(json.load(handle))
+    assert restored.work_markers
+
+
+def test_cli_looppoint_select_emits_marker_windows(tmp_path, capsys):
+    json_out = str(tmp_path / "regions.json")
+    code = main(["looppoint", "select", "--app", "mt.prodcons",
+                 "--input", "test", "--max-k", "4",
+                 "--warmup-slices", "2", "--json", json_out])
+    assert code == 0
+    with open(json_out) as handle:
+        payload = json.load(handle)
+    assert payload["selector"] == REGION_SELECTOR
+    assert payload["regions"]
+    for region in payload["regions"]:
+        assert region["measure"] > 0
+        assert region["skip"] >= 0
+        assert "markers" in region
+
+
+def test_cli_looppoint_validate(capsys):
+    code = main(["looppoint", "validate", "--app", "mt.prodcons",
+                 "--input", "test", "--max-k", "4", "--alternates", "0",
+                 "--trials", "1"])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "predicted" in out
+    assert "coverage 100%" in out
