@@ -155,8 +155,18 @@ def _cmd_verify_run(args: argparse.Namespace) -> int:
     pinball = _load_pinball(args.pinball)
     with open(args.binary, "rb") as handle:
         image = handle.read()
-    report = verify_pinball(image, pinball, seed=args.seed,
-                            epochs=args.epochs, bisect=not args.no_bisect)
+    previous = None
+    if args.dispatch is not None:
+        from repro.machine.cpu import set_default_dispatch
+        previous = set_default_dispatch(args.dispatch)
+    try:
+        report = verify_pinball(image, pinball, seed=args.seed,
+                                epochs=args.epochs,
+                                bisect=not args.no_bisect)
+    finally:
+        if previous is not None:
+            from repro.machine.cpu import set_default_dispatch
+            set_default_dispatch(previous)
     print(report.summary())
     if args.json:
         with open(args.json, "w") as handle:
@@ -174,7 +184,8 @@ def _cmd_verify_fuzz(args: argparse.Namespace) -> int:
     summary = fuzz(time_budget=args.time_budget, start_seed=args.start_seed,
                    max_cases=args.max_cases, seed=args.seed,
                    minimize=not args.no_minimize,
-                   checkpoint_path=args.checkpoint)
+                   checkpoint_path=args.checkpoint,
+                   dispatch=args.dispatch)
     print("cases run: %d  invalid: %d  divergences: %d"
           % (summary.cases_run, summary.invalid, len(summary.failures)))
     for outcome in summary.failures:
@@ -725,6 +736,10 @@ def build_parser() -> argparse.ArgumentParser:
                                  "localizing the divergent instruction")
     verify_run.add_argument("--json", metavar="FILE", default=None,
                             help="write the fidelity report as JSON")
+    verify_run.add_argument("--dispatch", default=None,
+                            choices=("slow", "block", "chain", "compiled"),
+                            help="pin the interpreter dispatch tier for "
+                                 "every machine in the verification")
     verify_run.set_defaults(func=_cmd_verify_run)
 
     verify_fuzz = verify_sub.add_parser(
@@ -743,6 +758,11 @@ def build_parser() -> argparse.ArgumentParser:
     verify_fuzz.add_argument("--checkpoint", metavar="FILE", default=None,
                              help="persist fuzz progress here; a preempted "
                                   "run resumes from the last finished case")
+    verify_fuzz.add_argument("--dispatch", default=None,
+                             choices=("slow", "block", "chain", "compiled"),
+                             help="pin the dispatch tier for every machine "
+                                  "and cross-check it against the slow "
+                                  "loop per case")
     verify_fuzz.set_defaults(func=_cmd_verify_fuzz)
 
     verify_lockstep = verify_sub.add_parser(

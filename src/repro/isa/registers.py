@@ -35,7 +35,7 @@ MASK64 = (1 << 64) - 1
 XSAVE_AREA_SIZE = XMM_COUNT * 8 + 8
 
 
-@dataclass
+@dataclass(slots=True)
 class Flags:
     """Condition flags, an RFLAGS subset sufficient for PX control flow."""
 
@@ -71,7 +71,7 @@ class Flags:
         return Flags(zf=self.zf, sf=self.sf, cf=self.cf, of=self.of)
 
 
-@dataclass
+@dataclass(slots=True)
 class RegisterFile:
     """Full architectural state of one PX hardware thread.
 

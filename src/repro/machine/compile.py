@@ -1,0 +1,841 @@
+"""Threaded-code compilation of hot superblocks.
+
+Once a block's hit count crosses ``COMPILE_THRESHOLD`` the fast path
+hands it here and gets back one generated Python function that executes
+the whole block per call: operands are specialized into literals, the
+per-instruction static costs are folded into a single ``cycles += K``
+per exit, and the icount/RIP updates are hoisted out of the body to the
+exits.  What remains per instruction is the architectural work itself —
+no handler call, no operand tuple unpacking, no per-step bookkeeping.
+
+Bit-identity with the per-instruction interpreter is the contract, so
+the generated code keeps every observable ordering of the slow path:
+
+* Dynamic cache-model charges still happen access by access (before the
+  memory operation, which may fault), accumulated into a local delta
+  that every exit — normal, SMC, fault — flushes into ``thread.cycles``.
+* A mid-block fault materializes the exact architectural state of the
+  slow path before re-raising: RIP already advanced past the faulting
+  instruction, icount/cycles covering only the retired prefix.  A
+  ``_f = <step index>`` assignment before each fault-capable operation
+  plus a per-step metadata table make the except-path exact.
+* Every store is followed by an SMC check: if it invalidated code, the
+  function materializes state at that step boundary and returns the
+  retired count, exactly where the interpreted trace would have broken.
+* RFLAGS writes are emitted only when a later instruction can observe
+  them (conditional branch, PUSHF, CMPXCHG's partial update) or when a
+  fault-capable instruction could expose them mid-block; flag writes
+  that are provably overwritten before any such observation point are
+  elided (dead-flag elimination).
+
+Compiled functions are cached by block *shape* — opcodes, operands, and
+intra-block RIP offsets — with all RIP values computed relative to a
+``base`` argument, so the same function is reused for identical code at
+different addresses (common across re-JITted or remapped pages).
+
+Codegen bails out (returns ``None``) on any unsupported handler —
+SYSCALL, RDTSC (reads mid-block cycles), XSAVE/XRSTOR — and the fast
+path permanently falls back to the interpreted trace for that block.
+"""
+
+from __future__ import annotations
+
+import math
+import struct
+from typing import Dict, List, Optional, Tuple
+
+from repro.isa.instructions import Op
+from repro.isa.registers import Flags
+from repro.machine.memory import (
+    PAGE_MASK, PAGE_SHIFT, PAGE_SIZE, PROT_READ, PROT_WRITE,
+)
+
+#: Entry cap for the shape-keyed function cache (see Cpu eviction docs).
+COMPILED_CACHE_LIMIT = 2048
+
+_MASK = "18446744073709551615"        # (1 << 64) - 1
+_SIGN = "9223372036854775808"         # 1 << 63
+_TWO64 = "18446744073709551616"       # 1 << 64
+
+
+class _Unsupported(Exception):
+    """Raised by an emitter for a shape codegen cannot handle."""
+
+
+# Opcode groups driving the dead-flag pass.  Full writers set all four
+# flags and may be elided; readers (and every fault-capable op, whose
+# fault path exposes current flags to the outside) keep earlier writers
+# live.  CMPXCHG writes only ZF, so it both reads and writes.
+_ALU_RR = {
+    int(Op.ADD_RR): ("({a} + {b})", True),
+    int(Op.SUB_RR): ("({a} - {b})", True),
+    int(Op.IMUL_RR): ("({a} * {b})", True),
+    int(Op.AND_RR): ("{a} & {b}", False),
+    int(Op.OR_RR): ("{a} | {b}", False),
+    int(Op.XOR_RR): ("{a} ^ {b}", False),
+    int(Op.SHL_RR): ("({a} << ({b} & 63))", True),
+    int(Op.SHR_RR): ("{a} >> ({b} & 63)", False),
+}
+_ALU_RI = {
+    int(Op.ADD_RI): lambda a, imm: "(%s + %d) & %s" % (a, imm, _MASK),
+    int(Op.SUB_RI): lambda a, imm: "(%s - %d) & %s" % (a, imm, _MASK),
+    int(Op.IMUL_RI): lambda a, imm: "(%s * %d) & %s" % (a, imm, _MASK),
+    int(Op.AND_RI): lambda a, imm: "%s & %d" % (a, imm),
+    int(Op.OR_RI): lambda a, imm: "(%s | %d) & %s" % (a, imm, _MASK),
+    int(Op.XOR_RI): lambda a, imm: "(%s ^ %d) & %s" % (a, imm, _MASK),
+    int(Op.SHL_RI): lambda a, imm: "(%s << %d) & %s" % (a, imm & 63, _MASK),
+    int(Op.SHR_RI): lambda a, imm: "%s >> %d" % (a, imm & 63),
+}
+_FARITH = {
+    int(Op.FADD): "+", int(Op.FSUB): "-",
+    int(Op.FMUL): "*", int(Op.FDIV): "/",
+}
+_COND = {
+    int(Op.JZ): "flags.zf",
+    int(Op.JNZ): "not flags.zf",
+    int(Op.JL): "flags.sf != flags.of",
+    int(Op.JGE): "flags.sf == flags.of",
+    int(Op.JG): "not flags.zf and flags.sf == flags.of",
+    int(Op.JLE): "flags.zf or flags.sf != flags.of",
+    int(Op.JB): "flags.cf",
+    int(Op.JAE): "not flags.cf",
+}
+
+_FULL_FLAG_WRITERS = (
+    set(_ALU_RR) | set(_ALU_RI)
+    | {int(Op.DIV_RR), int(Op.MOD_RR), int(Op.CMP_RR), int(Op.CMP_RI),
+       int(Op.TEST_RR), int(Op.FCMP), int(Op.XADD)}
+)
+_FLAG_READERS = set(_COND) | {int(Op.PUSHF), int(Op.CMPXCHG)}
+_FAULTABLE = {
+    int(Op.LD), int(Op.ST), int(Op.LD4), int(Op.ST4), int(Op.LD1),
+    int(Op.ST1), int(Op.FLD), int(Op.FST), int(Op.PUSH), int(Op.POP),
+    int(Op.PUSHF), int(Op.POPF), int(Op.CALL), int(Op.CALL_R),
+    int(Op.RET), int(Op.XADD), int(Op.CMPXCHG), int(Op.XCHG),
+    int(Op.DIV_RR), int(Op.MOD_RR), int(Op.HLT),
+}
+_UNSUPPORTED = {
+    int(Op.SYSCALL), int(Op.RDTSC), int(Op.XSAVE), int(Op.XRSTOR),
+}
+
+
+def _dead_flags(ops: Tuple[int, ...]) -> List[bool]:
+    """Backward liveness: True where a full flag write may be elided."""
+    skip = [False] * len(ops)
+    live = True  # flags are architectural state at every block exit
+    for i in range(len(ops) - 1, -1, -1):
+        op = ops[i]
+        if op in _FULL_FLAG_WRITERS:
+            if live:
+                live = False
+            else:
+                skip[i] = True
+        if op in _FLAG_READERS or op in _FAULTABLE:
+            live = True
+    return skip
+
+
+class _Gen:
+    """Accumulates generated source plus the hoist set it needs.
+
+    In loop mode (``loop_n`` nonzero) the body sits one level deeper
+    inside a ``while True`` spin and every exit scales the hoisted
+    icount/cycles flush by ``_it`` completed iterations.
+    """
+
+    def __init__(self) -> None:
+        self.lines: List[str] = []
+        self.needs: set = set()
+        self.rip_written = False
+        self.extra = 0          # indent shift for loop-mode bodies
+        self.loop_n = 0         # instructions per iteration (0 = no loop)
+        self.loop_total = 0     # static cycle cost per iteration
+
+    def emit(self, line: str, indent: int = 2) -> None:
+        self.lines.append("    " * (indent + self.extra) + line)
+
+    def charge(self, indent: int = 2) -> None:
+        """Cache-model charge for the address in ``_a``."""
+        # Penalties/set counts are baked from the cpu module's model so
+        # the generated code and the interpreter can never disagree.
+        from repro.machine.cpu import (
+            HW_L1_PENALTY, HW_L1_SETS, HW_LLC_PENALTY, HW_LLC_SETS,
+        )
+
+        self.needs.update(("_l1", "_llc"))
+        e = self.emit
+        e("_ln = _a >> 6", indent)
+        e("_ix = _ln & %d" % (HW_L1_SETS - 1), indent)
+        e("if _l1[_ix] != _ln:", indent)
+        e("_l1[_ix] = _ln", indent + 1)
+        e("_ix = _ln & %d" % (HW_LLC_SETS - 1), indent + 1)
+        e("if _llc[_ix] != _ln:", indent + 1)
+        e("_llc[_ix] = _ln", indent + 2)
+        e("_cyd += %d" % (HW_L1_PENALTY + HW_LLC_PENALTY), indent + 2)
+        e("thread.llc_misses += 1", indent + 2)
+        e("else:", indent + 1)
+        e("_cyd += %d" % HW_L1_PENALTY, indent + 2)
+
+    def smc_check(self, index: int, off: int, prefix_incl: int,
+                  rip_set: bool) -> None:
+        """Early SMC exit after a store: materialize and return."""
+        e = self.emit
+        e("if cpu._smc_dirty:")
+        if not rip_set:
+            e("regs.rip = (_base + %d) & %s" % (off, _MASK), 3)
+        if self.loop_n:
+            e("thread.icount += _it * %d + %d"
+              % (self.loop_n, index + 1), 3)
+            e("thread.cycles += _cyd + _it * %d + %d"
+              % (self.loop_total, prefix_incl), 3)
+            e("return _it * %d + %d" % (self.loop_n, index + 1), 3)
+        else:
+            e("thread.icount += %d" % (index + 1), 3)
+            e("thread.cycles += _cyd + %d" % prefix_incl, 3)
+            e("return %d" % (index + 1), 3)
+
+
+def _ea_expr(gen: _Gen, mem_op: tuple) -> None:
+    base, disp = mem_op
+    if disp:
+        gen.emit("_a = (gpr[%d] + %d) & %s" % (base, disp, _MASK))
+    else:
+        gen.emit("_a = gpr[%d]" % base)
+
+
+def _inline_load(gen: _Gen, size: int, stmt) -> None:
+    """Load ``size`` bytes at ``_a``, open-coding the single-page path.
+
+    ``stmt(value_expr)`` renders the consuming statement.  The inline
+    path replicates AddressSpace.read's fast path exactly: same-page
+    access, permission bits checked, no touch hook attached.  Faults,
+    page-crossing accesses, and hooked runs fall back to ``mem.read``,
+    which raises the identical PageFault.
+    """
+    gen.needs.update(("_mr", "_pages", "_perms", "_th"))
+    e = gen.emit
+    fallback = "_mr(_a, %d)" % size
+    if size == 1:
+        fallback += "[0]"
+    e("_o = _a & %d" % PAGE_MASK)
+    e("if _o <= %d and _th is None:" % (PAGE_SIZE - size))
+    e("_pg = _a >> %d" % PAGE_SHIFT, 3)
+    e("_d = _pages.get(_pg)", 3)
+    e("if _d is not None and _perms[_pg] & %d:" % PROT_READ, 3)
+    e(stmt("_d[_o]" if size == 1 else "_d[_o:_o + %d]" % size), 4)
+    e("else:", 3)
+    e(stmt(fallback), 4)
+    e("else:", 2)
+    e(stmt(fallback), 3)
+
+
+def _inline_store(gen: _Gen, size: int, value_expr: str) -> None:
+    """Store ``value_expr`` at ``_a``, open-coding the single-page path.
+
+    For sizes > 1 the value expression must render bytes; for size 1 an
+    int.  Stores to executable pages always take the ``mem.write``
+    fallback so the SMC invalidation protocol (retire after the data
+    lands) stays in one place.
+    """
+    gen.needs.update(("_mw", "_pages", "_perms", "_xpg", "_th"))
+    e = gen.emit
+    e("_b = " + value_expr)
+    fallback = "_mw(_a, bytes((_b,)))" if size == 1 else "_mw(_a, _b)"
+    e("_o = _a & %d" % PAGE_MASK)
+    e("if _o <= %d and _th is None:" % (PAGE_SIZE - size))
+    e("_pg = _a >> %d" % PAGE_SHIFT, 3)
+    e("_d = _pages.get(_pg)", 3)
+    e("if _d is not None and _perms[_pg] & %d and _pg not in _xpg:"
+      % PROT_WRITE, 3)
+    e("_d[_o] = _b" if size == 1 else "_d[_o:_o + %d] = _b" % size, 4)
+    e("else:", 3)
+    e(fallback, 4)
+    e("else:", 2)
+    e(fallback, 3)
+
+
+def _alu_flags(gen: _Gen) -> None:
+    gen.emit("flags.zf = _r == 0")
+    gen.emit("flags.sf = _r >= " + _SIGN)
+    gen.emit("flags.cf = False")
+    gen.emit("flags.of = False")
+
+
+def _emit_step(gen: _Gen, i: int, op: int, ops: tuple, off: int,
+               prefix_incl: int, skip_flags: bool, is_last: bool) -> None:
+    e = gen.emit
+    needs = gen.needs
+
+    if op in _UNSUPPORTED:
+        raise _Unsupported(op)
+
+    if op in (int(Op.NOP), int(Op.MARKER), int(Op.CPUID)):
+        return
+    if op == int(Op.PAUSE):
+        e("thread.spin_pauses += 1")
+        return
+    if op == int(Op.HLT):
+        e("_f = %d" % i)
+        e('raise InvalidOpcode("hlt executed in user mode at 0x%%x"'
+          ' %% ((_base + %d) & %s))' % (off, _MASK))
+        return
+    if op == int(Op.MOV_RI):
+        e("gpr[%d] = %d" % (ops[0], ops[1] & ((1 << 64) - 1)))
+        return
+    if op == int(Op.MOV_RR):
+        e("gpr[%d] = gpr[%d]" % (ops[0], ops[1]))
+        return
+    if op == int(Op.LEA):
+        base, disp = ops[1]
+        if disp:
+            e("gpr[%d] = (gpr[%d] + %d) & %s" % (ops[0], base, disp, _MASK))
+        else:
+            e("gpr[%d] = gpr[%d]" % (ops[0], base))
+        return
+
+    if op in _ALU_RR:
+        tmpl, mask = _ALU_RR[op]
+        expr = tmpl.format(a="gpr[%d]" % ops[0], b="gpr[%d]" % ops[1])
+        if mask:
+            expr = "%s & %s" % (expr, _MASK)
+        if skip_flags:
+            e("gpr[%d] = %s" % (ops[0], expr))
+        else:
+            e("_r = " + expr)
+            e("gpr[%d] = _r" % ops[0])
+            _alu_flags(gen)
+        return
+    if op in _ALU_RI:
+        expr = _ALU_RI[op]("gpr[%d]" % ops[0], ops[1])
+        if skip_flags:
+            e("gpr[%d] = %s" % (ops[0], expr))
+        else:
+            e("_r = " + expr)
+            e("gpr[%d] = _r" % ops[0])
+            _alu_flags(gen)
+        return
+    if op in (int(Op.DIV_RR), int(Op.MOD_RR)):
+        e("_f = %d" % i)
+        e("_y = gpr[%d]" % ops[1])
+        e("if _y == 0:")
+        e('raise DivideError("divide by zero at 0x%%x"'
+          ' %% ((_base + %d) & %s))' % (off, _MASK), 3)
+        sym = "//" if op == int(Op.DIV_RR) else "%"
+        if skip_flags:
+            e("gpr[%d] = gpr[%d] %s _y" % (ops[0], ops[0], sym))
+        else:
+            e("_r = gpr[%d] %s _y" % (ops[0], sym))
+            e("gpr[%d] = _r" % ops[0])
+            _alu_flags(gen)
+        return
+
+    if op in (int(Op.CMP_RR), int(Op.CMP_RI)):
+        if skip_flags:
+            return
+        e("_x = gpr[%d]" % ops[0])
+        if op == int(Op.CMP_RR):
+            e("_y = gpr[%d]" % ops[1])
+            rhs, rhs_s = "_y", "(_y ^ %s)" % _SIGN
+        else:
+            imm = ops[1] & ((1 << 64) - 1)
+            rhs, rhs_s = str(imm), str(imm ^ (1 << 63))
+        e("flags.zf = _x == %s" % rhs)
+        e("flags.cf = _x < %s" % rhs)
+        e("flags.sf = (_x ^ %s) < %s" % (_SIGN, rhs_s))
+        e("flags.of = False")
+        return
+    if op == int(Op.TEST_RR):
+        if skip_flags:
+            return
+        e("_r = gpr[%d] & gpr[%d]" % (ops[0], ops[1]))
+        _alu_flags(gen)
+        return
+
+    if op == int(Op.LD):
+        needs.add("_fb")
+        e("_f = %d" % i)
+        _ea_expr(gen, ops[1])
+        gen.charge()
+        _inline_load(gen, 8,
+                     lambda v: 'gpr[%d] = _fb(%s, "little")' % (ops[0], v))
+        return
+    if op == int(Op.ST):
+        e("_f = %d" % i)
+        _ea_expr(gen, ops[0])
+        gen.charge()
+        _inline_store(gen, 8, '(gpr[%d] & %s).to_bytes(8, "little")'
+                      % (ops[1], _MASK))
+        gen.smc_check(i, off, prefix_incl, rip_set=False)
+        return
+    if op == int(Op.LD4):
+        needs.add("_fb")
+        e("_f = %d" % i)
+        _ea_expr(gen, ops[1])
+        gen.charge()
+        _inline_load(gen, 4,
+                     lambda v: 'gpr[%d] = _fb(%s, "little")' % (ops[0], v))
+        return
+    if op == int(Op.ST4):
+        e("_f = %d" % i)
+        _ea_expr(gen, ops[0])
+        gen.charge()
+        _inline_store(gen, 4, '(gpr[%d] & 4294967295).to_bytes(4, "little")'
+                      % ops[1])
+        gen.smc_check(i, off, prefix_incl, rip_set=False)
+        return
+    if op == int(Op.LD1):
+        e("_f = %d" % i)
+        _ea_expr(gen, ops[1])
+        gen.charge()
+        _inline_load(gen, 1, lambda v: "gpr[%d] = %s" % (ops[0], v))
+        return
+    if op == int(Op.ST1):
+        e("_f = %d" % i)
+        _ea_expr(gen, ops[0])
+        gen.charge()
+        _inline_store(gen, 1, "gpr[%d] & 255" % ops[1])
+        gen.smc_check(i, off, prefix_incl, rip_set=False)
+        return
+
+    if op == int(Op.PUSH) or op == int(Op.PUSHF):
+        e("_f = %d" % i)
+        if op == int(Op.PUSH):
+            e("_v = gpr[%d]" % ops[0])
+        else:
+            e("_v = flags.to_word()")
+        e("_a = (gpr[4] - 8) & %s" % _MASK)
+        e("gpr[4] = _a")
+        gen.charge()
+        _inline_store(gen, 8, '(_v & %s).to_bytes(8, "little")' % _MASK)
+        gen.smc_check(i, off, prefix_incl, rip_set=False)
+        return
+    if op == int(Op.POP):
+        needs.add("_fb")
+        e("_f = %d" % i)
+        e("_a = gpr[4]")
+        gen.charge()
+        _inline_load(gen, 8, lambda v: '_v = _fb(%s, "little")' % v)
+        e("gpr[4] = (_a + 8) & %s" % _MASK)
+        e("gpr[%d] = _v" % ops[0])
+        return
+    if op == int(Op.POPF):
+        needs.add("_fb")
+        e("_f = %d" % i)
+        e("_a = gpr[4]")
+        gen.charge()
+        _inline_load(gen, 8, lambda v: '_v = _fb(%s, "little")' % v)
+        e("gpr[4] = (_a + 8) & %s" % _MASK)
+        e("regs.flags = flags = Flags.from_word(_v)")
+        return
+
+    if op == int(Op.JMP):
+        gen.rip_written = True
+        e("regs.rip = (_base + %d) & %s" % (off + ops[0], _MASK))
+        return
+    if op in _COND:
+        gen.rip_written = True
+        e("regs.rip = ((_base + %d) & %s) if %s else ((_base + %d) & %s)"
+          % (off + ops[0], _MASK, _COND[op], off, _MASK))
+        return
+    if op == int(Op.JMPABS):
+        gen.rip_written = True
+        e("regs.rip = %d" % (ops[0] & ((1 << 64) - 1)))
+        return
+    if op == int(Op.JMP_R):
+        gen.rip_written = True
+        e("regs.rip = gpr[%d]" % ops[0])
+        return
+    if op in (int(Op.CALL), int(Op.CALL_R)):
+        gen.rip_written = True
+        e("_f = %d" % i)
+        e("_v = (_base + %d) & %s" % (off, _MASK))
+        e("_a = (gpr[4] - 8) & %s" % _MASK)
+        e("gpr[4] = _a")
+        gen.charge()
+        _inline_store(gen, 8, '_v.to_bytes(8, "little")')
+        if op == int(Op.CALL):
+            e("regs.rip = (_base + %d) & %s" % (off + ops[0], _MASK))
+        else:
+            # Read the target after the push, like the interpreter
+            # (observable when the target register is rsp).
+            e("regs.rip = gpr[%d]" % ops[0])
+        gen.smc_check(i, off, prefix_incl, rip_set=True)
+        return
+    if op == int(Op.RET):
+        needs.add("_fb")
+        gen.rip_written = True
+        e("_f = %d" % i)
+        e("_a = gpr[4]")
+        gen.charge()
+        _inline_load(gen, 8, lambda v: 'regs.rip = _fb(%s, "little")' % v)
+        e("gpr[4] = (_a + 8) & %s" % _MASK)
+        return
+
+    if op == int(Op.XADD):
+        needs.update(("_mr", "_mw", "_fb"))
+        e("_f = %d" % i)
+        _ea_expr(gen, ops[0])
+        gen.charge()
+        e('_v = _fb(_mr(_a, 8), "little")')
+        e('_mw(_a, ((_v + gpr[%d]) & %s).to_bytes(8, "little"))'
+          % (ops[1], _MASK))
+        e("gpr[%d] = _v" % ops[1])
+        if not skip_flags:
+            e("_r = _v")
+            _alu_flags(gen)
+        gen.smc_check(i, off, prefix_incl, rip_set=False)
+        return
+    if op == int(Op.CMPXCHG):
+        needs.update(("_mr", "_mw", "_fb"))
+        e("_f = %d" % i)
+        _ea_expr(gen, ops[0])
+        gen.charge()
+        e('_v = _fb(_mr(_a, 8), "little")')
+        e("if _v == gpr[0]:")
+        e('_mw(_a, (gpr[%d] & %s).to_bytes(8, "little"))' % (ops[1], _MASK), 3)
+        e("flags.zf = True", 3)
+        e("else:")
+        e("gpr[0] = _v", 3)
+        e("flags.zf = False", 3)
+        gen.smc_check(i, off, prefix_incl, rip_set=False)
+        return
+    if op == int(Op.XCHG):
+        needs.update(("_mr", "_mw", "_fb"))
+        e("_f = %d" % i)
+        _ea_expr(gen, ops[0])
+        gen.charge()
+        e('_v = _fb(_mr(_a, 8), "little")')
+        e('_mw(_a, (gpr[%d] & %s).to_bytes(8, "little"))' % (ops[1], _MASK))
+        e("gpr[%d] = _v" % ops[1])
+        gen.smc_check(i, off, prefix_incl, rip_set=False)
+        return
+
+    if op == int(Op.FMOV_XI):
+        value = float(ops[1])
+        if not math.isfinite(value):
+            raise _Unsupported(op)
+        needs.add("xmm")
+        e("xmm[%d] = %r" % (ops[0], value))
+        return
+    if op == int(Op.FMOV_XX):
+        needs.add("xmm")
+        e("xmm[%d] = xmm[%d]" % (ops[0], ops[1]))
+        return
+    if op == int(Op.FLD):
+        needs.add("xmm")
+        e("_f = %d" % i)
+        _ea_expr(gen, ops[1])
+        gen.charge()
+        _inline_load(gen, 8,
+                     lambda v: 'xmm[%d] = _unpack("<d", %s)[0]' % (ops[0], v))
+        return
+    if op == int(Op.FST):
+        needs.add("xmm")
+        e("_f = %d" % i)
+        _ea_expr(gen, ops[0])
+        gen.charge()
+        _inline_store(gen, 8, '_pack("<d", xmm[%d])' % ops[1])
+        gen.smc_check(i, off, prefix_incl, rip_set=False)
+        return
+    if op in _FARITH:
+        needs.add("xmm")
+        e("try:")
+        e("xmm[%d] = xmm[%d] %s xmm[%d]"
+          % (ops[0], ops[0], _FARITH[op], ops[1]), 3)
+        e("except (ZeroDivisionError, OverflowError):")
+        e("xmm[%d] = _INF" % ops[0], 3)
+        return
+    if op == int(Op.FCMP):
+        needs.add("xmm")
+        e("_fx = xmm[%d]" % ops[0])
+        e("_fy = xmm[%d]" % ops[1])
+        e("flags.zf = _fx == _fy")
+        e("_fl = _fx < _fy")
+        e("flags.cf = _fl")
+        e("flags.sf = _fl")
+        e("flags.of = False")
+        return
+    if op == int(Op.CVTSI2SD):
+        needs.add("xmm")
+        e("_v = gpr[%d]" % ops[1])
+        e("xmm[%d] = float(_v - %s) if _v >= %s else float(_v)"
+          % (ops[0], _TWO64, _SIGN))
+        return
+    if op == int(Op.CVTSD2SI):
+        needs.add("xmm")
+        e("try:")
+        e("gpr[%d] = int(xmm[%d]) & %s" % (ops[0], ops[1], _MASK), 3)
+        e("except (ValueError, OverflowError):")
+        e("gpr[%d] = %s" % (ops[0], _SIGN), 3)
+        return
+
+    if op == int(Op.WRFSBASE):
+        e("regs.fs_base = gpr[%d]" % ops[0])
+        return
+    if op == int(Op.WRGSBASE):
+        e("regs.gs_base = gpr[%d]" % ops[0])
+        return
+    if op == int(Op.RDFSBASE):
+        e("gpr[%d] = regs.fs_base" % ops[0])
+        return
+    if op == int(Op.RDGSBASE):
+        e("gpr[%d] = regs.gs_base" % ops[0])
+        return
+
+    raise _Unsupported(op)
+
+
+_HOIST_LINES = {
+    "_mr": "_mr = mem.read",
+    "_mw": "_mw = mem.write",
+    "_pages": "_pages = mem._pages",
+    "_perms": "_perms = mem._perms",
+    "_xpg": "_xpg = mem._exec_pages",
+    "_th": "_th = mem.touch_hook",
+    "_fb": "_fb = int.from_bytes",
+    "_l1": "_l1 = cpu.hw_l1",
+    "_llc": "_llc = cpu.hw_llc",
+    "xmm": "xmm = regs.xmm",
+}
+
+
+def _self_loop(ends_branch: bool, ops: tuple, operands: tuple,
+               offs: tuple) -> bool:
+    """True when the terminator's taken edge targets the block entry.
+
+    Only the taken edge can self-loop: fall-through is the terminator's
+    own next_pc, which is always past the entry.  Such blocks compile
+    into an internal spin bounded by a caller-supplied iteration budget.
+    """
+    if not ends_branch:
+        return False
+    last = ops[-1]
+    if last not in _COND and last != int(Op.JMP):
+        return False
+    return offs[-1] + operands[-1][0] == 0
+
+
+def _generate(shape: tuple) -> Optional[Tuple[str, tuple, bool,
+                                              Optional[str]]]:
+    """Emit source + fault-metadata for one block shape, or None.
+
+    Returns ``(source, fault_meta, is_loop, part_source)``;
+    *part_source* is the partial-execution spill variant (None when the
+    shape is a single step or hits an unsupported op).
+    """
+    from repro.machine.cpu import OP_COST
+
+    ends_branch, ops, operands, offs = shape
+    n = len(ops)
+    costs = [OP_COST[op] for op in ops]
+    prefix = [0] * (n + 1)
+    for i, cost in enumerate(costs):
+        prefix[i + 1] = prefix[i] + cost
+    skip = _dead_flags(ops)
+    loop = _self_loop(ends_branch, ops, operands, offs)
+
+    gen = _Gen()
+    if loop:
+        gen.extra = 1
+        gen.loop_n = n
+        gen.loop_total = prefix[n]
+    try:
+        for i in range(n - 1 if loop else n):
+            _emit_step(gen, i, ops[i], operands[i], offs[i],
+                       prefix[i + 1], skip[i], i == n - 1)
+    except _Unsupported:
+        return None
+
+    body = gen.lines
+    if loop:
+        # Terminator of a self-loop: taken spins (until the `_kmax`
+        # budget — the caller's quantum/trap headroom — runs out),
+        # fall-through exits.  Completed iterations flush in one shot;
+        # nothing observes icount/cycles/rip between iterations.
+        gen.rip_written = True
+        e = gen.emit
+        last = ops[-1]
+        if last in _COND:
+            e("if %s:" % _COND[last])
+            e("_it += 1", 3)
+            e("if _it < _kmax:", 3)
+            e("continue", 4)
+            e("regs.rip = _base", 3)
+            e("else:")
+            e("regs.rip = (_base + %d) & %s" % (offs[-1], _MASK), 3)
+            e("_it += 1", 3)
+        else:  # unconditional JMP-to-self: spin out the budget
+            e("_it += 1")
+            e("if _it < _kmax:")
+            e("continue", 3)
+            e("regs.rip = _base")
+        e("thread.icount += %d * _it" % n)
+        e("thread.cycles += _cyd + %d * _it" % prefix[n])
+        e("return %d * _it" % n)
+    else:
+        if not gen.rip_written:
+            body.append("        regs.rip = (_base + %d) & %s"
+                        % (offs[-1], _MASK))
+        body.append("        thread.icount += %d" % n)
+        body.append("        thread.cycles += _cyd + %d" % prefix[n])
+        body.append("        return %d" % n)
+
+    # _kmax defaults to 1 so callers that must see every block entry
+    # (block tools disabling chaining) get single-iteration behavior.
+    signature = ("def _cfn(cpu, thread, _base, _kmax=1):" if loop
+                 else "def _cfn(cpu, thread, _base):")
+    source = _assemble(gen, body, signature, n, prefix[n])
+    meta = tuple((offs[i], i, prefix[i]) for i in range(n))
+    return source, meta, loop, _generate_part(shape, prefix)
+
+
+def _assemble(gen: _Gen, body: List[str], signature: str,
+              n: int, total: int) -> str:
+    """Wrap a generated body with the hoist prologue and fault epilogue."""
+    lines = [signature,
+             "    regs = thread.regs",
+             "    gpr = regs.gpr",
+             "    flags = regs.flags"]
+    if gen.needs & {"_mr", "_mw"}:
+        lines.append("    mem = cpu.mem")
+    for name in ("_mr", "_mw", "_pages", "_perms", "_xpg", "_th",
+                 "_fb", "_l1", "_llc", "xmm"):
+        if name in gen.needs:
+            lines.append("    " + _HOIST_LINES[name])
+    lines.append("    _cyd = 0")
+    lines.append("    _f = 0")
+    if gen.loop_n:
+        lines.append("    _it = 0")
+    lines.append("    try:")
+    if gen.loop_n:
+        lines.append("        while True:")
+    lines.extend(body)
+    lines.append("    except BaseException:")
+    lines.append("        _m = _META[_f]")
+    lines.append("        regs.rip = (_base + _m[0]) & %s" % _MASK)
+    if gen.loop_n:
+        lines.append("        thread.icount += _it * %d + _m[1]" % n)
+        lines.append("        thread.cycles += _cyd + _it * %d + _m[2]"
+                     % total)
+    else:
+        lines.append("        thread.icount += _m[1]")
+        lines.append("        thread.cycles += _cyd + _m[2]")
+    lines.append("        raise")
+    return "\n".join(lines) + "\n"
+
+
+def _generate_part(shape: tuple, prefix: List[int]) -> Optional[str]:
+    """Emit the partial-execution variant: run exactly ``_stop`` steps.
+
+    Used for quantum spills (``_stop`` < n always, so the terminator is
+    never reached).  Every stop point is a retire boundary the scheduler
+    can observe, so dead-flag elimination is disabled — flags are
+    architecturally exact at each step.
+    """
+    ends_branch, ops, operands, offs = shape
+    n = len(ops)
+    if n < 2:
+        return None  # a 1-step block can never spill
+    gen = _Gen()
+    try:
+        for i in range(n - 1):
+            if i:
+                gen.emit("if _stop == %d:" % i)
+                gen.emit("regs.rip = (_base + %d) & %s"
+                         % (offs[i - 1], _MASK), 3)
+                gen.emit("thread.icount += %d" % i, 3)
+                gen.emit("thread.cycles += _cyd + %d" % prefix[i], 3)
+                gen.emit("return %d" % i, 3)
+            _emit_step(gen, i, ops[i], operands[i], offs[i],
+                       prefix[i + 1], False, False)
+    except _Unsupported:
+        return None
+    body = gen.lines
+    body.append("        regs.rip = (_base + %d) & %s"
+                % (offs[n - 2], _MASK))
+    body.append("        thread.icount += %d" % (n - 1))
+    body.append("        thread.cycles += _cyd + %d" % prefix[n - 1])
+    body.append("        return %d" % (n - 1))
+    return _assemble(gen, body, "def _cfn(cpu, thread, _base, _stop):",
+                     n, prefix[n])
+
+
+class BlockCompiler:
+    """Owns codegen and the shape-keyed compiled-function cache.
+
+    The cache maps block shapes to compiled functions (or ``None`` for
+    shapes that bailed out, so an uncompilable shape is analysed once).
+    Insertion-ordered dict doubles as the eviction queue: past the cap
+    the oldest entries are dropped — attached ``Block.compiled``
+    references stay valid, only shape-level reuse is lost.
+    """
+
+    def __init__(self) -> None:
+        self.cache: Dict[tuple, Optional[object]] = {}
+        self.cache_limit = COMPILED_CACHE_LIMIT
+        self.evictions = 0
+
+    @staticmethod
+    def shape_of(block) -> Optional[tuple]:
+        """The reuse key: opcodes, operands, and entry-relative offsets.
+
+        Returns None for degenerate layouts (an offset that wrapped the
+        64-bit space would make base-relative RIP math ambiguous).
+        """
+        entry = block.entry
+        offs = []
+        last = 0
+        for step in block.steps:
+            off = step[0] - entry
+            if off <= last:
+                return None
+            offs.append(off)
+            last = off
+        operands = tuple(step[2] for step in block.steps)
+        return (block.ends_branch, block.ops, operands, tuple(offs))
+
+    def compile_block(self, block) -> Optional[object]:
+        shape = self.shape_of(block)
+        if shape is None:
+            return None
+        cache = self.cache
+        if shape in cache:
+            return cache[shape]
+        generated = _generate(shape)
+        if generated is None:
+            fn = None
+        else:
+            source, meta, loop, part_source = generated
+            namespace = {
+                "DivideError": _cpu().DivideError,
+                "InvalidOpcode": _cpu().InvalidOpcode,
+                "Flags": Flags,
+                "_unpack": struct.unpack,
+                "_pack": struct.pack,
+                "_INF": float("inf"),
+                "_META": meta,
+            }
+            exec(compile(source, "<px-block>", "exec"), namespace)
+            fn = namespace["_cfn"]
+            fn.__px_source__ = source
+            fn.__px_loop__ = loop
+            if part_source is not None:
+                part_ns = dict(namespace)
+                exec(compile(part_source, "<px-block-part>", "exec"),
+                     part_ns)
+                pfn = part_ns["_cfn"]
+                pfn.__px_source__ = part_source
+                fn.__px_part__ = pfn
+        if len(cache) >= self.cache_limit:
+            count = max(1, self.cache_limit // 8)
+            for key in list(cache)[:count]:
+                del cache[key]
+            self.evictions += count
+        cache[shape] = fn
+        return fn
+
+
+def _cpu():
+    from repro.machine import cpu
+
+    return cpu

@@ -15,6 +15,8 @@ cost.
 
 from __future__ import annotations
 
+import heapq
+import os
 import sys
 from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Tuple
 
@@ -93,6 +95,55 @@ HW_LLC_PENALTY = 40
 #: are split; keeps quantum spills and invalidation granularity sane).
 BLOCK_LIMIT = 512
 
+#: Entry caps for the translation caches.  SMC-heavy and fuzz workloads
+#: churn code pages without bound; past the cap the oldest-stamped
+#: eighth of the cache is evicted (eviction severs chain edges exactly
+#: like page invalidation does).
+BLOCK_CACHE_LIMIT = 8192
+COMPILED_CACHE_LIMIT = 2048
+
+#: Full-block executions of one block before it is handed to the
+#: threaded-code compiler.
+COMPILE_THRESHOLD = 4
+
+#: Dispatch tiers, weakest to strongest.  Each tier includes everything
+#: below it: "block" adds the superblock cache over per-instruction
+#: interpretation, "chain" links block exits to cached successors, and
+#: "compiled" additionally runs hot blocks as generated Python
+#: functions.  All four are architecturally bit-identical; the knob
+#: exists for differential testing (``verify fuzz --dispatch``) and for
+#: benchmarking the tiers against each other.
+DISPATCH_TIERS = ("slow", "block", "chain", "compiled")
+
+_default_dispatch = os.environ.get("REPRO_DISPATCH", "compiled")
+if _default_dispatch not in DISPATCH_TIERS:  # pragma: no cover
+    _default_dispatch = "compiled"
+
+
+def default_dispatch() -> str:
+    """The dispatch tier new :class:`Cpu` instances start in."""
+    return _default_dispatch
+
+
+def set_default_dispatch(tier: str) -> str:
+    """Set the process-wide default dispatch tier; returns the old one.
+
+    Affects every Machine constructed afterwards (the fuzz and verify
+    pipelines construct machines internally, so this is the one switch
+    that retiers a whole differential run).
+    """
+    global _default_dispatch
+    if tier not in DISPATCH_TIERS:
+        raise ValueError("unknown dispatch tier: %r" % (tier,))
+    previous = _default_dispatch
+    _default_dispatch = tier
+    return previous
+
+
+#: Sentinel for "this chain slot has never been linked" (distinct from a
+#: severed slot, whose pc marker is reset so it can relink).
+_NO_PC = -1
+
 
 class Block:
     """A decoded superblock: one straight-line run of instructions.
@@ -102,17 +153,57 @@ class Block:
     with the successor PC precomputed and the handler/cost resolved so
     the hot loop does no dict lookup, enum conversion, or property
     access.  A branch (taken or not) can only ever be the final step.
+
+    Chain slots link a block's exit directly to the successor Block so
+    the fast loop flows block-to-block without re-entering the dispatch
+    header: ``chain_next`` for fall-through/unconditional exits, and a
+    taken/not-taken slot pair (keyed by the exit pc that selected them)
+    for conditional branches.  ``in_edges`` is the reverse index: every
+    predecessor that may hold a chain reference to this block, so that
+    dropping the block from the cache (invalidation or eviction) can
+    sever all inbound edges — a chained transition never consults
+    ``block_cache``, so a stale edge would execute dead code.
     """
 
-    __slots__ = ("entry", "steps", "n", "ends_branch", "pages")
+    __slots__ = (
+        "entry", "steps", "n", "ends_branch", "ends_syscall", "pages",
+        "ops", "hits", "compiled", "compiled_loop", "compiled_part",
+        "no_compile", "stamp",
+        "in_edges", "chain_next", "chain_taken", "chain_taken_pc",
+        "chain_not_taken", "chain_not_taken_pc",
+    )
 
     def __init__(self, entry: int, steps: List[tuple], ends_branch: bool,
-                 pages: Tuple[int, ...]) -> None:
+                 ends_syscall: bool, pages: Tuple[int, ...],
+                 ops: Tuple[int, ...]) -> None:
         self.entry = entry
         self.steps = steps
         self.n = len(steps)
         self.ends_branch = ends_branch
+        self.ends_syscall = ends_syscall
         self.pages = pages
+        #: Opcode ints, parallel to ``steps`` (codegen needs opcodes;
+        #: steps store only the bound handlers).
+        self.ops = ops
+        self.hits = 0
+        #: Compiled function (cpu, thread, base) -> instructions retired,
+        #: or None while cold / after a codegen bailout.
+        self.compiled: Optional[Callable] = None
+        #: True when ``compiled`` is a self-loop variant taking an extra
+        #: iteration-budget argument and spinning internally.
+        self.compiled_loop = False
+        #: Partial-execution variant for quantum spills: runs exactly
+        #: ``_stop`` < n steps with bit-exact state at every stop point.
+        self.compiled_part: Optional[Callable] = None
+        self.no_compile = False
+        #: LRU stamp, bumped on every dispatch-header hit.
+        self.stamp = 0
+        self.in_edges: List["Block"] = []
+        self.chain_next: Optional["Block"] = None
+        self.chain_taken: Optional["Block"] = None
+        self.chain_taken_pc = _NO_PC
+        self.chain_not_taken: Optional["Block"] = None
+        self.chain_not_taken_pc = _NO_PC
 
 
 class Cpu:
@@ -129,7 +220,8 @@ class Cpu:
         self._decode_index: Dict[int, set] = {}
         self._block_index: Dict[int, set] = {}
         #: True when no instruction tools are attached (Machine keeps
-        #: this in sync); selects the superblock fast path.
+        #: this in sync) and the dispatch tier is above "slow"; selects
+        #: the superblock fast path.
         self.fast_dispatch = True
         # Set by _invalidate_code_page while the fast loop is inside a
         # block whose backing bytes just changed (self-modifying code).
@@ -137,9 +229,22 @@ class Cpu:
         self.block_hits = 0
         self.block_misses = 0
         self.block_invalidations = 0
+        self.block_evictions = 0
+        self.chain_hits = 0
+        self.compiled_blocks = 0
+        self.compiled_calls = 0
+        self.compiled_bailouts = 0
         self._reported_hits = 0
         self._reported_misses = 0
         self._reported_invalidations = 0
+        self._reported_evictions = 0
+        self._reported_chain_hits = 0
+        self._reported_compiled_blocks = 0
+        self._reported_compiled_calls = 0
+        self._reported_compiled_bailouts = 0
+        self._stamp = 0
+        self.block_cache_limit = BLOCK_CACHE_LIMIT
+        self._compiler = None  # built lazily on the first hot block
         self.hw_l1: List[int] = [-1] * HW_L1_SETS
         self.hw_llc: List[int] = [-1] * HW_LLC_SETS
         #: Set by Machine.request_stop to break out of the slice loop.
@@ -149,6 +254,25 @@ class Cpu:
         self.write_hook: Optional[Callable[["Thread", int, int], None]] = None
         self._handlers = _build_handlers()
         self.mem.exec_invalidate_hook = self._invalidate_code_page
+        self.dispatch_tier = "compiled"
+        self.chain_enabled = True
+        self.compile_enabled = True
+        self.set_dispatch(default_dispatch())
+
+    def set_dispatch(self, tier: str) -> None:
+        """Select the dispatch tier (see :data:`DISPATCH_TIERS`).
+
+        Derives ``fast_dispatch``/``chain_enabled``/``compile_enabled``;
+        per-instruction tools still force the slow path regardless of
+        tier (Machine._rebuild_tool_lists owns that conjunction).
+        """
+        if tier not in DISPATCH_TIERS:
+            raise ValueError("unknown dispatch tier: %r" % (tier,))
+        self.dispatch_tier = tier
+        self.chain_enabled = tier in ("chain", "compiled")
+        self.compile_enabled = tier == "compiled"
+        instr_tools = getattr(self.machine, "instr_tools", None)
+        self.fast_dispatch = tier != "slow" and not instr_tools
 
     def invalidate_decode_cache(self) -> None:
         """Drop every cached decode and superblock (full clear)."""
@@ -185,7 +309,54 @@ class Cpu:
                             refs = block_index.get(other)
                             if refs is not None:
                                 refs.discard(entry)
+                    self._unlink_block(block)
             self.block_invalidations += len(entries)
+        self._smc_dirty = True
+
+    def _unlink_block(self, block: Block) -> None:
+        """Sever every chain edge into and out of *block*.
+
+        Must run whenever a block leaves ``block_cache``: chained
+        execution follows edges without consulting the cache, so any
+        surviving inbound edge would keep executing the dead block.
+        ``in_edges`` may hold stale predecessors (themselves already
+        dropped) — the identity check makes those entries inert.
+        """
+        for pred in block.in_edges:
+            if pred.chain_next is block:
+                pred.chain_next = None
+            if pred.chain_taken is block:
+                pred.chain_taken = None
+                pred.chain_taken_pc = _NO_PC
+            if pred.chain_not_taken is block:
+                pred.chain_not_taken = None
+                pred.chain_not_taken_pc = _NO_PC
+        block.in_edges = []
+        block.chain_next = None
+        block.chain_taken = None
+        block.chain_taken_pc = _NO_PC
+        block.chain_not_taken = None
+        block.chain_not_taken_pc = _NO_PC
+
+    def _evict_blocks(self) -> None:
+        """LRU-evict the oldest-stamped eighth of the block cache."""
+        bcache = self.block_cache
+        count = max(1, len(bcache) // 8)
+        victims = heapq.nsmallest(count, bcache.values(),
+                                  key=lambda b: b.stamp)
+        block_index = self._block_index
+        for block in victims:
+            bcache.pop(block.entry, None)
+            for page in block.pages:
+                refs = block_index.get(page)
+                if refs is not None:
+                    refs.discard(block.entry)
+                    if not refs:
+                        block_index.pop(page, None)
+            self._unlink_block(block)
+        self.block_evictions += len(victims)
+        # Blocks may be mid-execution in the fast loop; force it back to
+        # the dispatch header at the next boundary, same as invalidation.
         self._smc_dirty = True
 
     def _decode_at(self, pc: int) -> Tuple[Instruction, int]:
@@ -224,7 +395,9 @@ class Cpu:
         entry_page = entry_pc >> PAGE_SHIFT
         pages = {entry_page}
         steps: List[tuple] = []
+        ops: List[int] = []
         ends_branch = False
+        ends_syscall = False
         syscall_op = int(Op.SYSCALL)
         pc = entry_pc
         while True:
@@ -240,10 +413,12 @@ class Cpu:
             opint = int(insn.op)
             steps.append((next_pc, handlers[opint], insn.operands,
                           op_cost[opint]))
+            ops.append(opint)
             if insn.is_branch:
                 ends_branch = True
                 break
             if opint == syscall_op:
+                ends_syscall = True
                 break
             pc = next_pc
             if (pc >> PAGE_SHIFT) != entry_page:
@@ -252,7 +427,11 @@ class Cpu:
                 break
         if not steps:
             return None
-        block = Block(entry_pc, steps, ends_branch, tuple(pages))
+        if len(self.block_cache) >= self.block_cache_limit:
+            self._evict_blocks()
+        block = Block(entry_pc, steps, ends_branch, ends_syscall,
+                      tuple(pages), tuple(ops))
+        block.stamp = self._stamp = self._stamp + 1
         self.block_cache[entry_pc] = block
         block_index = self._block_index
         for page in block.pages:
@@ -333,13 +512,30 @@ class Cpu:
         icount/cycles updates keep RDTSC and mid-block faults exact, the
         PMU guard routes the final approach to an armed trap through the
         slow path so the redirect fires at the exact icount, and quantum
-        expiry spills mid-block by slicing the pre-bound trace.
+        expiry spills mid-block by indexing a prefix of the pre-bound
+        trace.
+
+        On the "chain" and "compiled" tiers the inner loop follows
+        chain edges from one block's exit straight to the cached
+        successor, re-entering the dispatch header only when a chain
+        boundary is hit: quantum exhaustion, an armed PMU trap or icount
+        limit within reach of the next block, SMC invalidation, a
+        syscall terminator (the kernel may block the thread, remap code,
+        or stop the run), or a missing edge.  Block tools disable
+        chaining entirely so every block entry still fires the hooks.
         """
         machine = self.machine
         regs = thread.regs
         bcache = self.block_cache
         block_tools = machine.block_tools
+        chain_ok = self.chain_enabled and not block_tools
+        compile_ok = (self.compile_enabled and self.read_hook is None
+                      and self.write_hook is None)
         executed = 0
+        # Telemetry deltas batched per quantum (flushed before return; a
+        # propagating fault abandons the in-flight quantum's deltas).
+        calls_delta = 0
+        chain_delta = 0
 
         while executed < quantum:
             if (self.stop_flag is not None or not thread.alive
@@ -362,6 +558,7 @@ class Cpu:
                     continue
             else:
                 self.block_hits += 1
+                block.stamp = self._stamp = self._stamp + 1
 
             if block_tools and thread.new_block:
                 thread.new_block = False
@@ -373,52 +570,191 @@ class Cpu:
                     executed += self._run_slow(thread, 1)
                     break
 
-            n = block.n
+            # -- chained execution: run block after block without
+            # re-entering the dispatch header until a boundary breaks
+            # the chain.  The trap/limit bound is loop-invariant: only a
+            # syscall can rearm either one, and syscall blocks always
+            # break the chain.
             limit = thread.pmu_trap_at
             if thread.icount_limit < limit:
                 limit = thread.icount_limit
-            if thread.icount + n >= limit:
-                # Within trap/limit range: step exactly up to the
-                # boundary (both are > icount here, so room >= 1).
-                executed += self._run_slow(
-                    thread, min(limit - thread.icount, quantum - executed))
-                continue
-            remaining = quantum - executed
-            steps = block.steps
-            full = True
-            if n > remaining:
-                # Quantum expires mid-block: a branch can only be the
-                # final step, so any prefix is a valid straight-line run.
-                steps = steps[:remaining]
-                n = remaining
-                full = False
-
-            before = thread.icount
-            self._smc_dirty = False
-            for next_pc, handler, operands, cost in steps:
-                regs.rip = next_pc
-                handler(self, thread, operands)
-                thread.cycles += cost
-                thread.icount += 1
-                if self._smc_dirty:
+            # Local countdown to the bound: icount advances by exactly
+            # ``ran`` per block, so the guard needs no attribute reads.
+            headroom = limit - thread.icount
+            while True:
+                n = block.n
+                if n >= headroom:
+                    # Within trap/limit range: step exactly up to the
+                    # boundary (both are > icount here, so room >= 1).
+                    executed += self._run_slow(
+                        thread, min(headroom, quantum - executed))
                     break
-            ran = thread.icount - before
-            executed += ran
-            if full and ran == n and block.ends_branch:
-                thread.new_block = True
-                thread.branches += 1
-            if thread.icount >= thread.pmu_trap_at:
-                # Only reachable when the trap was armed mid-block (a
-                # SYSCALL, necessarily the final step) with a threshold
-                # of zero; fires at the same retire boundary as the
-                # per-instruction loop.
-                self._pmu_redirect(thread)
-            if self._smc_dirty:
-                # The block we were executing was invalidated under our
-                # feet (self-modifying code); re-dispatch at the current
-                # rip against freshly decoded bytes.
+                remaining = quantum - executed
+                if n > remaining:
+                    # Quantum expires mid-block: a branch can only be
+                    # the final step, so any prefix is a valid
+                    # straight-line run.  Hot blocks carry a compiled
+                    # partial variant that runs exactly ``remaining``
+                    # steps (remaining < n here, so it never reaches
+                    # the terminator); the trap/limit guard above
+                    # ensures no PMU boundary falls inside the prefix.
+                    pfn = block.compiled_part
+                    if pfn is not None and compile_ok:
+                        calls_delta += 1
+                        self._smc_dirty = False
+                        executed += pfn(self, thread, block.entry,
+                                        remaining)
+                        self._smc_dirty = False
+                        break
+                    # Indexing (not slicing) avoids copying the trace
+                    # on every spill.
+                    steps = block.steps
+                    before = thread.icount
+                    self._smc_dirty = False
+                    for index in range(remaining):
+                        next_pc, handler, operands, cost = steps[index]
+                        regs.rip = next_pc
+                        handler(self, thread, operands)
+                        thread.cycles += cost
+                        thread.icount += 1
+                        if self._smc_dirty:
+                            self._smc_dirty = False
+                            break
+                    executed += thread.icount - before
+                    break
+
+                fn = block.compiled
+                if fn is None and compile_ok and not block.no_compile:
+                    count = block.hits = block.hits + 1
+                    if count >= COMPILE_THRESHOLD:
+                        fn = self._compile_block(block)
                 self._smc_dirty = False
+                if fn is not None and compile_ok:
+                    calls_delta += 1
+                    if block.compiled_loop and chain_ok:
+                        # Self-loop variant: spin inside the generated
+                        # code, bounded so no iteration can cross the
+                        # quantum or the trap/limit headroom.  Both
+                        # bounds are >= 1 here (n <= remaining and
+                        # n < headroom).
+                        k = remaining // n
+                        h = (headroom - 1) // n
+                        if h < k:
+                            k = h
+                        ran = fn(self, thread, block.entry, k)
+                    else:
+                        ran = fn(self, thread, block.entry)
+                else:
+                    before = thread.icount
+                    for next_pc, handler, operands, cost in block.steps:
+                        regs.rip = next_pc
+                        handler(self, thread, operands)
+                        thread.cycles += cost
+                        thread.icount += 1
+                        if self._smc_dirty:
+                            break
+                    ran = thread.icount - before
+                executed += ran
+                headroom -= ran
+                if ran != n:
+                    full, part = divmod(ran, n)
+                    if part or full == 0:
+                        # The block was invalidated under our feet
+                        # (self-modifying code) and stopped at a step
+                        # boundary; re-dispatch at the current rip
+                        # against freshly decoded bytes.
+                        self._smc_dirty = False
+                        break
+                    # A compiled self-loop spun `full` complete
+                    # iterations: account the branch retires and the
+                    # fused self-transitions.
+                    thread.new_block = True
+                    thread.branches += full
+                    chain_delta += full - 1
+                else:
+                    if block.ends_branch:
+                        thread.new_block = True
+                        thread.branches += 1
+                    if block.ends_syscall:
+                        # Only a syscall can move the trap/limit bound
+                        # under the chain; the loop-invariant guard
+                        # covers every other block.
+                        if thread.icount >= thread.pmu_trap_at:
+                            # The syscall armed a trap with a threshold
+                            # of zero; fires at the same retire boundary
+                            # as the per-instruction loop.
+                            self._pmu_redirect(thread)
+                        break
+                if self._smc_dirty:
+                    # Final step invalidated its own block; rip is
+                    # already the architectural successor.
+                    self._smc_dirty = False
+                    break
+                if not chain_ok or executed >= quantum:
+                    break
+
+                # -- resolve the chain edge for the exit we just took.
+                rip = regs.rip
+                if block.ends_branch:
+                    if rip == block.chain_taken_pc:
+                        nxt = block.chain_taken
+                    elif rip == block.chain_not_taken_pc:
+                        nxt = block.chain_not_taken
+                    else:
+                        nxt = bcache.get(rip)
+                        if nxt is None:
+                            break
+                        if rip == block.steps[-1][0]:
+                            block.chain_not_taken = nxt
+                            block.chain_not_taken_pc = rip
+                        else:
+                            # Taken edge; indirect branches relink this
+                            # slot as their target moves.
+                            block.chain_taken = nxt
+                            block.chain_taken_pc = rip
+                        nxt.in_edges.append(block)
+                else:
+                    nxt = block.chain_next
+                    if nxt is None:
+                        nxt = bcache.get(rip)
+                        if nxt is None:
+                            break
+                        block.chain_next = nxt
+                        nxt.in_edges.append(block)
+                if nxt is None:
+                    # Severed edge (pc marker survives an unlink only
+                    # until the slot relinks); fall back to the header.
+                    break
+                chain_delta += 1
+                block = nxt
+        if calls_delta:
+            self.compiled_calls += calls_delta
+        if chain_delta:
+            self.chain_hits += chain_delta
         return executed
+
+    def _compile_block(self, block: Block) -> Optional[Callable]:
+        """Hand a hot block to the threaded-code compiler.
+
+        Returns the compiled function (also attached to the block), or
+        None after marking the block uncompilable (unsupported handler,
+        non-monotonic layout).
+        """
+        compiler = self._compiler
+        if compiler is None:
+            from repro.machine.compile import BlockCompiler
+
+            compiler = self._compiler = BlockCompiler()
+        fn = compiler.compile_block(block)
+        if fn is None:
+            block.no_compile = True
+            self.compiled_bailouts += 1
+            return None
+        block.compiled = fn
+        block.compiled_loop = getattr(fn, "__px_loop__", False)
+        block.compiled_part = getattr(fn, "__px_part__", None)
+        self.compiled_blocks += 1
+        return fn
 
     def _run_slow(self, thread: "Thread", quantum: int) -> int:
         """Exact per-instruction interpretation (tools, PMU, faults)."""
@@ -483,6 +819,26 @@ class Cpu:
         if delta:
             obs.count("cpu.block_cache.invalidations", delta)
             self._reported_invalidations = self.block_invalidations
+        delta = self.block_evictions - self._reported_evictions
+        if delta:
+            obs.count("cpu.block_cache.evictions", delta)
+            self._reported_evictions = self.block_evictions
+        delta = self.chain_hits - self._reported_chain_hits
+        if delta:
+            obs.count("cpu.block_cache.chain_hits", delta)
+            self._reported_chain_hits = self.chain_hits
+        delta = self.compiled_blocks - self._reported_compiled_blocks
+        if delta:
+            obs.count("cpu.compiled.blocks", delta)
+            self._reported_compiled_blocks = self.compiled_blocks
+        delta = self.compiled_calls - self._reported_compiled_calls
+        if delta:
+            obs.count("cpu.compiled.calls", delta)
+            self._reported_compiled_calls = self.compiled_calls
+        delta = self.compiled_bailouts - self._reported_compiled_bailouts
+        if delta:
+            obs.count("cpu.compiled.bailouts", delta)
+            self._reported_compiled_bailouts = self.compiled_bailouts
 
     def _pmu_redirect(self, thread: "Thread") -> None:
         """Deliver a PMU overflow: redirect to the registered handler.

@@ -28,7 +28,7 @@ from repro.observe import hooks
 SIGSEGV = 11
 
 
-@dataclass
+@dataclass(slots=True)
 class Thread:
     """One hardware thread: architectural state plus counters."""
 
@@ -142,7 +142,14 @@ class Machine:
         self._syscall_tools = list(self.tools)
         # Instruction tools need exact per-instruction callbacks; block,
         # memory, and syscall tools all fire on the superblock fast path.
-        self.cpu.fast_dispatch = not self.instr_tools
+        # Block tools additionally suppress superblock chaining (every
+        # block entry must pass the dispatch header that fires their
+        # hooks) and memory tools suppress the compiled tier (generated
+        # code calls mem.read/write directly, bypassing the cpu-level
+        # read/write hooks) — both of those conjunctions live in
+        # Cpu._run_fast, re-evaluated per quantum.
+        self.cpu.fast_dispatch = (not self.instr_tools
+                                  and self.cpu.dispatch_tier != "slow")
         mem_tools = [t for t in self.tools if t.wants_memory]
         if mem_tools:
             def read_hook(thread: Thread, addr: int, size: int) -> None:
@@ -244,7 +251,9 @@ class Machine:
         return max(t.cycles for t in self.threads.values())
 
     def runnable_tids(self) -> List[int]:
-        return [t.tid for t in self.threads.values() if t.runnable]
+        # Inlined `t.runnable` — this runs once per scheduler pick.
+        return [t.tid for t in self.threads.values()
+                if t.alive and not t.blocked]
 
     @property
     def running(self) -> bool:

@@ -16,7 +16,7 @@ from dataclasses import dataclass
 from typing import Iterable, List, Optional, Sequence
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class ScheduleSlice:
     """One scheduling decision: run thread *tid* for *quantum* instructions."""
 
@@ -43,6 +43,10 @@ class Scheduler:
         self.base_quantum = base_quantum
         self.jitter = jitter
         self._rng = random.Random(seed)
+        # randint(-s, s) == -s + _randbelow(2s + 1) draw-for-draw; going
+        # straight to _randbelow skips randrange's argument plumbing on
+        # the per-quantum hot path while consuming identical RNG state.
+        self._randbelow = getattr(self._rng, "_randbelow", None)
         self._next_index = 0
         self._replay_log: Optional[List[ScheduleSlice]] = None
         self._replay_pos = 0
@@ -112,7 +116,12 @@ class Scheduler:
         self._next_index = tid + 1
         if self.jitter:
             spread = int(self.base_quantum * self.jitter)
-            quantum = self.base_quantum + self._rng.randint(-spread, spread)
+            if spread and self._randbelow is not None:
+                quantum = (self.base_quantum - spread
+                           + self._randbelow(2 * spread + 1))
+            else:
+                quantum = self.base_quantum + self._rng.randint(
+                    -spread, spread)
         else:
             quantum = self.base_quantum
         quantum = max(1, quantum)

@@ -24,6 +24,7 @@ from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional, Tuple
 
 from repro.core.pinball2elf import Pinball2Elf, Pinball2ElfOptions
+from repro.machine.cpu import set_default_dispatch
 from repro.machine.loader import load_elf
 from repro.machine.machine import Machine
 from repro.machine.vfs import FileSystem
@@ -45,6 +46,7 @@ ALL_FEATURES: Tuple[str, ...] = (
     "files",      # open/read/lseek against a pre-created input file
     "mmap",       # anonymous mmap + store/load + munmap churn
     "smc",        # copy code into an RWX mapping and call it
+    "smcwrite",   # heat the copied code hot, then overwrite it in place
     "futex",      # worker threads + futex wait/wake handshakes
     "pmu",        # mid-block PMU trap ends the program via a handler
     "loops",      # counted work loops (harvestable back-edge markers)
@@ -106,16 +108,18 @@ class FuzzOutcome:
 
     case: FuzzCase
     ok: bool
-    #: Pipeline stage that failed: "build" | "record" | "replay" |
-    #: "elfie" — or "" on success.  "build"/"record" failures indicate
-    #: an ungeneratable case (treated as invalid, not a divergence).
+    #: Pipeline stage that failed: "build" | "record" | "dispatch" |
+    #: "replay" | "elfie" — or "" on success.  "build"/"record" failures
+    #: indicate an ungeneratable case (treated as invalid, not a
+    #: divergence); "dispatch" is an interpreter-tier divergence (the
+    #: selected dispatch tier disagreed with the slow loop).
     stage: str = ""
     detail: str = ""
     report: Optional[FidelityReport] = None
 
     @property
     def is_divergence(self) -> bool:
-        return not self.ok and self.stage in ("replay", "elfie")
+        return not self.ok and self.stage in ("dispatch", "replay", "elfie")
 
 
 def generate_case(seed: int) -> FuzzCase:
@@ -216,6 +220,36 @@ def _main_action(feature: str, rng: random.Random, index: int,
             "    cmp rcx, 0", "    jnz smc_copy_%d" % index,
             "    call r12", "    add rbx, rdx",
         ]
+    elif feature == "smcwrite":
+        # Copy `func` into an RWX mapping, call it enough times to heat
+        # the copy into the superblock chain and the compiled tier, then
+        # copy over it again *in place*: every st1 of the second pass
+        # writes into a now-executable page, so the interpreter must
+        # sever the chained edges and drop the compiled body mid-run.
+        lines += [
+            "    mov rax, 9          ; mmap(0, 4096, RWX, PRIV|ANON)",
+            "    mov rdi, 0", "    mov rsi, 4096", "    mov rdx, 7",
+            "    mov r10, 0x22", "    mov r8, -1", "    mov r9, 0",
+            "    syscall", "    mov r12, rax",
+            "    mov rsi, func", "    mov rdi, r12",
+            "    mov rcx, func_end", "    sub rcx, rsi",
+            "smcw_copy_%d:" % index,
+            "    ld1 rdx, [rsi]", "    st1 [rdi], rdx",
+            "    add rsi, 1", "    add rdi, 1", "    sub rcx, 1",
+            "    cmp rcx, 0", "    jnz smcw_copy_%d" % index,
+            "    mov r15, %d" % rng.randint(6, 9),
+            "smcw_call_%d:" % index,
+            "    call r12", "    add rbx, rdx",
+            "    sub r15, 1", "    cmp r15, 0",
+            "    jnz smcw_call_%d" % index,
+            "    mov rsi, func", "    mov rdi, r12",
+            "    mov rcx, func_end", "    sub rcx, rsi",
+            "smcw_rw_%d:" % index,
+            "    ld1 rdx, [rsi]", "    st1 [rdi], rdx",
+            "    add rsi, 1", "    add rdi, 1", "    sub rcx, 1",
+            "    cmp rcx, 0", "    jnz smcw_rw_%d" % index,
+            "    call r12", "    add rbx, rdx",
+        ]
 
 
 def _program_source(case: FuzzCase) -> Tuple[str, str]:
@@ -302,7 +336,7 @@ def _program_source(case: FuzzCase) -> Tuple[str, str]:
             "    mov rax, 60         ; exit(0)",
             "    mov rdi, 0", "    syscall",
         ]
-    if "smc" in case.features:
+    if "smc" in case.features or "smcwrite" in case.features:
         lines += [
             "func:",
             "    mov rdx, 11",
@@ -381,9 +415,59 @@ def _pick_region(case: FuzzCase, total: int) -> Optional[RegionSpec]:
                       name=case.name)
 
 
-def run_case(case: FuzzCase, seed: int = 0,
-             check_elfie: bool = True) -> FuzzOutcome:
-    """Drive one case through record -> replay -> ELFie verification."""
+def _dispatch_divergence(case: FuzzCase, image: bytes, seed: int,
+                         dispatch: str) -> str:
+    """Arch-state diff between the selected tier and the slow loop.
+
+    Runs the case natively twice — once per tier, each on a fresh
+    filesystem — and compares exit status plus every thread's retired
+    counters and final registers.  A non-empty string is the divergence
+    detail; bit-identity across dispatch tiers is the fast path's
+    ground-truth contract.
+    """
+    states = {}
+    for tier in (dispatch, "slow"):
+        prev = set_default_dispatch(tier)
+        try:
+            machine = Machine(seed=seed, fs=_case_fs(case))
+            load_elf(machine, image)
+            status = machine.run(max_instructions=2_000_000)
+        finally:
+            set_default_dispatch(prev)
+        states[tier] = (status.kind, status.code, tuple(sorted(
+            (t.tid, t.icount, t.cycles, t.branches, t.llc_misses,
+             tuple(t.regs.gpr), t.regs.rip, t.regs.flags.to_word())
+            for t in machine.threads.values())))
+    if states[dispatch] != states["slow"]:
+        return ("architectural state diverged between %r and slow "
+                "dispatch" % dispatch)
+    return ""
+
+
+def run_case(case: FuzzCase, seed: int = 0, check_elfie: bool = True,
+             dispatch: Optional[str] = None) -> FuzzOutcome:
+    """Drive one case through record -> replay -> ELFie verification.
+
+    With *dispatch*, every Machine in the pipeline runs on that dispatch
+    tier, and the case is first cross-checked tier-vs-slow natively
+    (stage "dispatch" on mismatch).
+    """
+    if dispatch is not None:
+        previous = set_default_dispatch(dispatch)
+        try:
+            if dispatch != "slow":
+                try:
+                    image, _ = build_case(case)
+                except Exception as exc:
+                    return FuzzOutcome(case=case, ok=False, stage="build",
+                                       detail=str(exc))
+                detail = _dispatch_divergence(case, image, seed, dispatch)
+                if detail:
+                    return FuzzOutcome(case=case, ok=False,
+                                       stage="dispatch", detail=detail)
+            return run_case(case, seed=seed, check_elfie=check_elfie)
+        finally:
+            set_default_dispatch(previous)
     try:
         image, fs = build_case(case)
     except Exception as exc:  # generator produced unassemblable code
@@ -458,10 +542,10 @@ def _reductions(case: FuzzCase) -> List[FuzzCase]:
     return out
 
 
-def minimize_case(case: FuzzCase, seed: int = 0,
-                  max_steps: int = 32) -> FuzzCase:
+def minimize_case(case: FuzzCase, seed: int = 0, max_steps: int = 32,
+                  dispatch: Optional[str] = None) -> FuzzCase:
     """Greedily shrink a failing case while it keeps failing."""
-    outcome = run_case(case, seed=seed)
+    outcome = run_case(case, seed=seed, dispatch=dispatch)
     if outcome.ok:
         return case
     steps = 0
@@ -470,7 +554,8 @@ def minimize_case(case: FuzzCase, seed: int = 0,
         changed = False
         for candidate in _reductions(case):
             steps += 1
-            if not run_case(candidate, seed=seed).is_divergence:
+            if not run_case(candidate, seed=seed,
+                            dispatch=dispatch).is_divergence:
                 continue
             case = candidate
             changed = True
@@ -525,11 +610,14 @@ def _save_fuzz_checkpoint(path: str, next_seed: int,
 def fuzz(time_budget: float = 30.0, start_seed: int = 0,
          max_cases: Optional[int] = None, seed: int = 0,
          minimize: bool = True,
-         checkpoint_path: Optional[str] = None) -> FuzzSummary:
+         checkpoint_path: Optional[str] = None,
+         dispatch: Optional[str] = None) -> FuzzSummary:
     """Generate and verify cases until the wall-clock budget expires.
 
     Failing cases are minimized (when *minimize* is set) and collected;
-    the CLI persists them into the regression corpus.
+    the CLI persists them into the regression corpus.  *dispatch* pins
+    every pipeline Machine to one dispatch tier and adds a native
+    tier-vs-slow cross-check per case.
 
     With *checkpoint_path*, the campaign persists its progress (next
     seed, counters, failures) to that JSON file after every case and
@@ -563,7 +651,7 @@ def fuzz(time_budget: float = 30.0, start_seed: int = 0,
                 break  # drain: the checkpoint already holds the progress
         case = generate_case(case_seed)
         case_seed += 1
-        outcome = run_case(case, seed=seed)
+        outcome = run_case(case, seed=seed, dispatch=dispatch)
         summary.cases_run += 1
         if obs.enabled:
             obs.count("verify.fuzz_cases")
@@ -578,7 +666,8 @@ def fuzz(time_budget: float = 30.0, start_seed: int = 0,
                             case=case.to_json(), stage=outcome.stage,
                             detail=outcome.detail)
             if minimize:
-                summary.minimized[case.seed] = minimize_case(case, seed=seed)
+                summary.minimized[case.seed] = minimize_case(
+                    case, seed=seed, dispatch=dispatch)
             summary.failures.append(outcome)
         if checkpoint_path:
             _save_fuzz_checkpoint(checkpoint_path, case_seed, summary)

@@ -9,10 +9,12 @@ reuse through mmap/munmap/mprotect.
 
 from repro.isa.instructions import Op, instruction_size
 from repro.machine import Machine, load_elf
+from repro.machine.cpu import DISPATCH_TIERS, set_default_dispatch
 from repro.machine.memory import PROT_READ
 from repro.machine.tool import Tool
 from repro.observe import hooks
 from repro.simpoint.bbv import _BlockCounter
+from repro.snapshot import capture, restore, snapshot_digest
 from repro.workloads import build_executable, run_program
 
 
@@ -67,10 +69,13 @@ RACY_DATA = """
 """
 
 
-def _run(image, seed=0, fast=True, max_instructions=None):
+def _run(image, seed=0, fast=True, max_instructions=None, tier=None):
     machine = Machine(seed=seed)
     load_elf(machine, image)
-    machine.cpu.fast_dispatch = fast
+    if tier is not None:
+        machine.cpu.set_dispatch(tier)
+    else:
+        machine.cpu.fast_dispatch = fast
     status = machine.run(max_instructions=max_instructions)
     return machine, status
 
@@ -227,11 +232,11 @@ def test_pmu_trap_mid_block_fires_at_exact_icount():
     # perf_event_open handles with icount=4, arming trap_at = 5 + threshold;
     # the handler's perf_read executes 2 instructions after redirect.
     expected_read = 5 + threshold + 2
-    for fast in (True, False):
-        machine, status = _run(image, fast=fast)
-        assert status.kind == "exit"
-        assert status.code == expected_read & 0xFF
-        assert machine.threads[0].icount == expected_read + 5
+    for tier in DISPATCH_TIERS:
+        machine, status = _run(image, tier=tier)
+        assert status.kind == "exit", tier
+        assert status.code == expected_read & 0xFF, tier
+        assert machine.threads[0].icount == expected_read + 5, tier
 
 
 def test_pmu_counting_trap_identical_on_both_paths():
@@ -338,10 +343,10 @@ def test_guest_store_patches_code_in_its_own_block():
             nop
         """ % patch_offset
     )
-    for fast in (True, False):
-        _, status = _run(image, fast=fast)
-        assert status.kind == "exit"
-        assert status.code == 44
+    for tier in DISPATCH_TIERS:
+        _, status = _run(image, tier=tier)
+        assert status.kind == "exit", tier
+        assert status.code == 44, tier
 
 
 def test_block_cache_invalidation_across_mmap_reuse():
@@ -430,12 +435,12 @@ def test_block_cache_invalidation_across_mmap_reuse():
             nop
         """
     )
-    for fast in (True, False):
-        machine, status = _run(image, fast=fast)
-        assert status.kind == "exit"
-        assert status.code == 7
-        if fast:
-            assert machine.cpu.block_invalidations > 0
+    for tier in DISPATCH_TIERS:
+        machine, status = _run(image, tier=tier)
+        assert status.kind == "exit", tier
+        assert status.code == 7, tier
+        if tier != "slow":
+            assert machine.cpu.block_invalidations > 0, tier
 
 
 # -- dispatch-path flipping ---------------------------------------------------
@@ -523,3 +528,168 @@ def test_fast_forward_runs_without_instruction_tools():
     machine, _, _ = run_program(image)
     assert machine.cpu.block_hits > 0
     assert machine.cpu.fast_dispatch is True
+
+
+# -- dispatch tiers: chaining + threaded-code compilation ---------------------
+
+
+def _chain_edges_target_live_blocks(cpu):
+    """No surviving chain edge may point outside ``block_cache``:
+    chained execution follows edges without consulting the cache, so a
+    stale edge would execute dead code."""
+    live = {id(block) for block in cpu.block_cache.values()}
+    for block in cpu.block_cache.values():
+        for edge in (block.chain_next, block.chain_taken,
+                     block.chain_not_taken):
+            if edge is not None and id(edge) not in live:
+                return False
+    return True
+
+
+def test_all_dispatch_tiers_bit_identical_racy_mt():
+    """Every tier — superblocks, chained superblocks, threaded-code
+    compilation — must retire the identical architectural state on a
+    racy multi-threaded workload, across scheduler seeds."""
+    image = build_executable(RACY_SOURCE, data_source=RACY_DATA)
+    for seed in range(4):
+        reference = None
+        for tier in DISPATCH_TIERS:
+            machine, status = _run(image, seed=seed, tier=tier)
+            state = _arch_state(machine, status)
+            if reference is None:
+                reference = state
+            else:
+                assert state == reference, (tier, seed)
+            if seed == 0 and tier == "compiled":
+                # The fast tiers must actually engage, not silently
+                # fall back to per-block dispatch.
+                assert machine.cpu.compiled_calls > 0
+                assert machine.cpu.chain_hits > 0
+                assert machine.cpu.compiled_blocks > 0
+
+
+def test_stepped_run_matches_straight_run_per_tier():
+    """Budget stops land mid-chain and mid-compiled-block (quantum
+    spills); a stepped run must be indistinguishable from a straight
+    one on every tier."""
+    image = build_executable(RACY_SOURCE, data_source=RACY_DATA)
+    for tier in DISPATCH_TIERS:
+        straight, done = _run(image, seed=5, tier=tier)
+        stepped = Machine(seed=5)
+        load_elf(stepped, image)
+        stepped.cpu.set_dispatch(tier)
+        budget = 700
+        while True:
+            status = stepped.run(max_instructions=budget)
+            if status.kind != "stopped":
+                break
+            budget += 700
+        assert _arch_state(stepped, status) \
+            == _arch_state(straight, done), tier
+
+
+def test_page_invalidation_severs_chain_edges():
+    """Dropping one code page mid-run must leave the chain graph
+    consistent (no edge into a dead block) and not perturb execution."""
+    image = build_executable(RACY_SOURCE, data_source=RACY_DATA)
+    machine = Machine(seed=0)
+    load_elf(machine, image)
+    machine.cpu.set_dispatch("chain")
+    assert machine.run(max_instructions=2000).kind == "stopped"
+    cpu = machine.cpu
+    assert cpu.chain_hits > 0
+    page = next(iter(cpu._block_index))
+    dropped = cpu.block_invalidations
+    cpu._invalidate_code_page(page)
+    assert cpu.block_invalidations > dropped
+    assert page not in cpu._block_index
+    assert _chain_edges_target_live_blocks(cpu)
+    status = machine.run()
+
+    slow = Machine(seed=0)
+    load_elf(slow, image)
+    slow.cpu.set_dispatch("slow")
+    assert slow.run(max_instructions=2000).kind == "stopped"
+    assert _arch_state(machine, status) == _arch_state(slow, slow.run())
+
+
+def test_block_cache_lru_eviction_under_tiny_cap():
+    """Past the cap the coldest blocks are evicted; eviction severs
+    their inbound chain edges and never changes architectural results."""
+    image = build_executable(RACY_SOURCE, data_source=RACY_DATA)
+    machine = Machine(seed=1)
+    load_elf(machine, image)
+    machine.cpu.set_dispatch("compiled")
+    machine.cpu.block_cache_limit = 4
+    status = machine.run()
+    cpu = machine.cpu
+    assert cpu.block_evictions > 0
+    assert len(cpu.block_cache) <= 4
+    assert _chain_edges_target_live_blocks(cpu)
+    assert _arch_state(machine, status) \
+        == _arch_state(*_run(image, seed=1, tier="slow"))
+
+
+def test_self_loop_blocks_compile_to_spinning_functions():
+    """A block whose taken edge targets its own entry compiles to a
+    generated function that spins internally; quantum spills run the
+    compiled partial variant.  Both must stay bit-identical to the
+    per-instruction loop."""
+    image = build_executable(
+        """
+        _start:
+            mov rcx, 500
+        again:
+            add rbx, 3
+            sub rcx, 1
+            cmp rcx, 0
+            jnz again
+            mov rdi, rbx
+            and rdi, 0xff
+            mov rax, 231
+            syscall
+        """
+    )
+    machine, status = _run(image, tier="compiled")
+    assert status.kind == "exit"
+    cpu = machine.cpu
+    assert cpu.compiled_calls > 0
+    functions = [fn for fn in cpu._compiler.cache.values()
+                 if fn is not None]
+    assert any(getattr(fn, "__px_loop__", False) for fn in functions)
+    assert any(getattr(fn, "__px_part__", None) is not None
+               for fn in functions)
+    assert _arch_state(machine, status) == _arch_state(*_run(image,
+                                                             tier="slow"))
+
+
+def test_snapshot_mid_chained_execution_round_trips():
+    """Capturing mid-chained-execution drops derived state (block and
+    compiled caches), round-trips digest-identically, and the resumed
+    run finishes bit-identically to a straight run."""
+    image = build_executable(RACY_SOURCE, data_source=RACY_DATA)
+    previous = set_default_dispatch("compiled")
+    try:
+        straight = Machine(seed=3)
+        load_elf(straight, image)
+        done = straight.run()
+        assert done.kind == "exit"
+
+        interrupted = Machine(seed=3)
+        load_elf(interrupted, image)
+        assert interrupted.run(max_instructions=1500).kind == "stopped"
+        assert interrupted.cpu.chain_hits > 0
+        first = capture(interrupted)
+        resumed = restore(first)
+        # Derived state never travels: the resumed machine re-decodes
+        # and re-compiles from guest memory.
+        assert not resumed.cpu.block_cache
+        assert snapshot_digest(capture(resumed)) == snapshot_digest(first)
+        status = resumed.run()
+        assert status.kind == "exit"
+        assert status.code == done.code
+        assert resumed.mem.snapshot() == straight.mem.snapshot()
+        assert _arch_state(resumed, status)[4] \
+            == _arch_state(straight, done)[4]
+    finally:
+        set_default_dispatch(previous)
