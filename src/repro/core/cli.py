@@ -234,6 +234,35 @@ def _cmd_verify_lockstep(args: argparse.Namespace) -> int:
     return 1 if sweep.failures else 0
 
 
+def _cmd_verify_aslr(args: argparse.Namespace) -> int:
+    from repro.verify import FuzzCase, aslr_invariance
+
+    recipes = (
+        ("arith", "mmap"),
+        ("arith", "futex"),
+        ("arith", "futex", "signals"),
+        ("arith", "futex", "pipes"),
+        ("arith", "shm"),
+        ("arith", "files"),
+    )
+    failures = 0
+    for index in range(args.cases):
+        features = recipes[index % len(recipes)]
+        case = FuzzCase(seed=args.start_seed + index,
+                        threads=2 if "futex" in features else 1,
+                        iterations=2, features=features,
+                        region_pos=30, region_len_pct=60)
+        outcome = aslr_invariance(case, args.aslr_seed + index,
+                                  seed=args.seed)
+        print("%s %s features=%s" % ("ok  " if outcome.ok else "FAIL",
+                                     case.name, ",".join(features)))
+        if not outcome.ok:
+            failures += 1
+            print("  stage=%s detail=%s" % (outcome.stage, outcome.detail))
+    print("aslr invariance: %d cases, %d failing" % (args.cases, failures))
+    return 1 if failures else 0
+
+
 def _campaign_images(args: argparse.Namespace) -> dict:
     from repro.workloads import get_app
 
@@ -790,6 +819,20 @@ def build_parser() -> argparse.ArgumentParser:
                                help="corpus directory (default tests/corpus)")
     verify_corpus.add_argument("--seed", type=int, default=0)
     verify_corpus.set_defaults(func=_cmd_verify_corpus)
+
+    verify_aslr = verify_sub.add_parser(
+        "aslr", help="base-invariance gate: select a region at the link "
+                     "base, capture and replay it at a slid base, and "
+                     "require identical architectural work")
+    verify_aslr.add_argument("--cases", type=int, default=4,
+                             help="generated workloads to push through the "
+                                  "two-base check")
+    verify_aslr.add_argument("--start-seed", type=int, default=0)
+    verify_aslr.add_argument("--aslr-seed", type=int, default=7,
+                             help="slide seed for the slid capture")
+    verify_aslr.add_argument("--seed", type=int, default=0,
+                             help="machine seed for the round-trips")
+    verify_aslr.set_defaults(func=_cmd_verify_aslr)
 
     looppoint = sub.add_parser(
         "looppoint",

@@ -68,6 +68,11 @@ PR_SET_MM_START_BRK = 6
 PR_SET_MM_BRK = 7
 
 
+def _mask_bits(mask: int) -> List[int]:
+    """Signal numbers present in a pending/blocked bitmask."""
+    return [bit + 1 for bit in range(64) if (mask >> bit) & 1]
+
+
 def pack_context(regs: RegisterFile) -> bytes:
     """Serialize one thread's context block (without rsp/rip)."""
     parts = [regs.xsave_bytes()]
@@ -133,6 +138,112 @@ class StartupGenerator:
 
     def _thread_records(self):
         return sorted(self.pinball.threads, key=lambda r: r.tid)
+
+    def _has_signal_state(self) -> bool:
+        return bool(self.pinball.sigactions or self.pinball.process_pending
+                    or any(r.sigmask or r.pending
+                           for r in self.pinball.threads))
+
+    # -- kernel IPC restore plans ------------------------------------------
+
+    def _shm_plan(self) -> List[Tuple[int, Optional[dict]]]:
+        """(shmid, segment-or-None) rows covering every id up to the
+        captured next_shmid.  Gap ids are burned with a create+RMID pair
+        so real segments land on their captured ids (shmget hands out
+        sequential ids)."""
+        segments = self.pinball.shm_segments
+        if not segments and self.pinball.next_shmid <= 1:
+            return []
+        limit = max(max(segments, default=0), self.pinball.next_shmid - 1)
+        return [(shmid, segments.get(shmid))
+                for shmid in range(1, limit + 1)]
+
+    def _shm_staging_bytes(self, segment: dict) -> bytes:
+        """Content to copy into the restored segment, 8-byte padded.
+
+        For a segment attached at capture time the live bytes are the
+        captured *pages* of the attached range (the ``data`` field is
+        only synchronized at shmdt); detached segments carry their
+        content in ``data``.
+        """
+        size = segment["size"]
+        attached_at = segment.get("attached_at")
+        if attached_at is not None:
+            out = bytearray()
+            addr = attached_at
+            end = attached_at + segment.get("attached_len", 0)
+            while addr < end:
+                page = self.pinball.pages.get(addr)
+                out += page[1] if page else b"\x00" * PAGE_SIZE
+                addr += PAGE_SIZE
+            blob = bytes(out[:size])
+        else:
+            blob = bytes.fromhex(segment.get("data", ""))[:size]
+        blob += b"\x00" * (size - len(blob))
+        pad = (-len(blob)) % 8
+        return blob + b"\x00" * pad
+
+    def _channel_plans(self) -> List[dict]:
+        """Restore plans for pipe/socket descriptors open at region
+        start, derived from the captured fd table and channel buffers.
+
+        Unaccepted listener-queue connections are not restorable from
+        startup code (no descriptor references them) and are dropped;
+        an in-region accept() of such a connection is beyond what a
+        stand-alone ELFie reproduces.
+        """
+        records = [r for r in sorted(self.pinball.open_files,
+                                     key=lambda r: r.fd)
+                   if r.kind in ("pipe", "socket")]
+        if not records:
+            return []
+        chdata = {cid: bytes.fromhex(chan.get("data", ""))
+                  for cid, chan in self.pinball.channels.items()}
+        plans: List[dict] = []
+        pipes: Dict[int, dict] = {}
+        pairs: Dict[Tuple[int, int], dict] = {}
+        for record in records:
+            if record.kind == "pipe":
+                cid = (record.read_cid if record.read_cid is not None
+                       else record.write_cid)
+                plan = pipes.get(cid)
+                if plan is None:
+                    plan = {"type": "pipe", "cid": cid,
+                            "read_fds": [], "write_fds": [],
+                            "data": chdata.get(cid, b"")}
+                    pipes[cid] = plan
+                    plans.append(plan)
+                side = "read_fds" if record.read_cid is not None else "write_fds"
+                plan[side].append(record.fd)
+            elif record.read_cid is not None:  # connected socket end
+                key = (min(record.read_cid, record.write_cid),
+                       max(record.read_cid, record.write_cid))
+                plan = pairs.get(key)
+                if plan is None:
+                    # end0 reads key[0]; end1 reads key[1]
+                    plan = {"type": "pair", "key": key,
+                            "end0_fds": [], "end1_fds": [],
+                            "data0": chdata.get(key[0], b""),
+                            "data1": chdata.get(key[1], b"")}
+                    pairs[key] = plan
+                    plans.append(plan)
+                side = "end0_fds" if record.read_cid == key[0] else "end1_fds"
+                plan[side].append(record.fd)
+            elif record.bound_port is not None:
+                listener = self.pinball.listeners.get(record.bound_port, {})
+                existing = next((p for p in plans
+                                 if p["type"] == "listener"
+                                 and p["port"] == record.bound_port), None)
+                if existing is not None:
+                    existing["fds"].append(record.fd)
+                else:
+                    plans.append({"type": "listener",
+                                  "port": record.bound_port,
+                                  "backlog": listener.get("backlog", 1),
+                                  "fds": [record.fd]})
+            else:
+                plans.append({"type": "plain_socket", "fds": [record.fd]})
+        return plans
 
     # -- emission ------------------------------------------------------------
 
@@ -205,6 +316,43 @@ __elfie_copy_{index}:
     mov rdx, 0
     syscall
 """)
+        # 2a. kernel IPC objects: SysV shm segments, then pipe/socket
+        # descriptors — before signal state so a handler that fires
+        # right after the application jump sees them.
+        self._emit_shm_restore(lines)
+        self._emit_channel_restore(lines)
+        # 2b. signal state: block everything for the rest of startup
+        # (clones inherit the mask), re-install every captured handler,
+        # and re-raise the process-wide pending set.  The raised bits
+        # sit blocked until each thread init restores its captured mask,
+        # so nothing delivers into startup code; delivery happens at the
+        # first quantum boundary after the jump into application code —
+        # the same boundary the capture stopped in front of.
+        if self._has_signal_state():
+            lines.append("""
+    mov rax, 14                 ; rt_sigprocmask(SETMASK, all, 0)
+    mov rdi, 2
+    mov rsi, __elfie_sigall
+    mov rdx, 0
+    syscall
+""")
+        for index, signum in enumerate(sorted(self.pinball.sigactions)):
+            lines.append(f"""
+    mov rax, 13                 ; rt_sigaction({signum}, saved, 0)
+    mov rdi, {signum}
+    mov rsi, __elfie_sigact_{index}
+    mov rdx, 0
+    syscall
+""")
+        for signum in _mask_bits(self.pinball.process_pending):
+            lines.append(f"""
+    mov rax, 39                 ; getpid
+    syscall
+    mov rdi, rax
+    mov rax, 62                 ; kill(pid, {signum}): re-raise pending
+    mov rsi, {signum}
+    syscall
+""")
         # 3. process-level callback
         lines.append("    call elfie_on_start")
         # 4. thread creation
@@ -224,6 +372,237 @@ __elfie_copy_{index}:
             lines.append("    jmp __elfie_thread_init_0")
         asm.add("\n".join(lines))
         self.plan.symbol_labels.append("_elfie_start")
+
+    def _emit_shm_restore(self, lines: List[str]) -> None:
+        """Recreate captured SysV segments on their captured shmids.
+
+        Real segments: shmget lands on the right id because lower ids
+        are burned first; content is copied in through an attachment —
+        SHM_REMAP for segments that were attached at capture (their
+        range is already occupied by ELF sections), a transient attach
+        for detached ones.
+        """
+        for shmid, segment in self._shm_plan():
+            if segment is None:
+                lines.append(f"""
+    mov rax, 29                 ; shmget(IPC_PRIVATE): burn id {shmid}
+    mov rdi, 0
+    mov rsi, 4096
+    mov rdx, 512
+    syscall
+    mov rdi, rax
+    mov rax, 31                 ; shmctl(id, IPC_RMID)
+    mov rsi, 0
+    mov rdx, 0
+    syscall
+""")
+                continue
+            size = segment["size"]
+            words = (size + 7) // 8
+            attached_at = segment.get("attached_at")
+            lines.append(f"""
+    mov rax, 29                 ; shmget(key 0x{segment['key']:x}) -> id {shmid}
+    mov rdi, {segment['key']}
+    mov rsi, {size}
+    mov rdx, 512
+    syscall
+    mov r12, rax
+""")
+            if attached_at is not None:
+                lines.append(f"""
+    mov rax, 30                 ; shmat(id, 0x{attached_at:x}, SHM_REMAP)
+    mov rdi, r12
+    mov rsi, 0x{attached_at:x}
+    mov rdx, 16384
+    syscall
+    mov r13, rax
+""")
+            else:
+                lines.append(f"""
+    mov rax, 30                 ; shmat(id, 0, 0): transient attach
+    mov rdi, r12
+    mov rsi, 0
+    mov rdx, 0
+    syscall
+    mov r13, rax
+""")
+            if words:
+                lines.append(f"""
+    mov rsi, __elfie_shm_{shmid}
+    mov rdi, r13
+    mov rcx, {words}
+__elfie_shmcopy_{shmid}:
+    ld rbx, [rsi]
+    st [rdi], rbx
+    add rsi, 8
+    add rdi, 8
+    sub rcx, 1
+    cmp rcx, 0
+    jnz __elfie_shmcopy_{shmid}
+""")
+            if attached_at is None:
+                lines.append("""
+    mov rax, 67                 ; shmdt: back to detached
+    mov rdi, r13
+    syscall
+""")
+
+    #: High scratch descriptors the channel restore parks endpoints on;
+    #: captured descriptor numbers are far below these.
+    _SCRATCH_FDS = (1000, 1001)
+
+    def _emit_channel_restore(self, lines: List[str]) -> None:
+        """Recreate pipe/socket descriptors on their captured fds.
+
+        Fresh endpoints are parked on high scratch descriptors, the
+        buffered bytes are refilled with plain write()s, then dup2 moves
+        each endpoint onto every captured descriptor number that shared
+        it.  A side with no surviving descriptor is simply closed, which
+        reproduces the captured EOF/EPIPE visibility.
+        """
+        scratch0, scratch1 = self._SCRATCH_FDS
+        for plan in self._channel_plans():
+            kind = plan["type"]
+            if kind == "pipe":
+                cid = plan["cid"]
+                lines.append(f"""
+    mov rax, 22                 ; pipe(tmp) for captured channel {cid}
+    mov rdi, __elfie_pipetmp
+    syscall
+    mov rcx, __elfie_pipetmp
+    ld4 rdi, [rcx]
+    mov rax, 33                 ; park read end
+    mov rsi, {scratch0}
+    syscall
+    mov rcx, __elfie_pipetmp
+    ld4 rdi, [rcx]
+    mov rax, 3
+    syscall
+    mov rcx, __elfie_pipetmp
+    ld4 rdi, [rcx+4]
+    mov rax, 33                 ; park write end
+    mov rsi, {scratch1}
+    syscall
+    mov rcx, __elfie_pipetmp
+    ld4 rdi, [rcx+4]
+    mov rax, 3
+    syscall
+""")
+                if plan["data"]:
+                    lines.append(f"""
+    mov rax, 1                  ; refill {len(plan['data'])} buffered bytes
+    mov rdi, {scratch1}
+    mov rsi, __elfie_chdata_{cid}
+    mov rdx, {len(plan['data'])}
+    syscall
+""")
+                self._emit_fd_placement(lines, scratch0, plan["read_fds"])
+                self._emit_fd_placement(lines, scratch1, plan["write_fds"])
+            elif kind == "pair":
+                key = plan["key"]
+                lines.append(f"""
+    mov rax, 53                 ; socketpair(AF_UNIX) for channels {key[0]}/{key[1]}
+    mov rdi, 1
+    mov rsi, 1
+    mov rdx, 0
+    mov r10, __elfie_pipetmp
+    syscall
+    mov rcx, __elfie_pipetmp
+    ld4 rdi, [rcx]
+    mov rax, 33                 ; park end 0
+    mov rsi, {scratch0}
+    syscall
+    mov rcx, __elfie_pipetmp
+    ld4 rdi, [rcx]
+    mov rax, 3
+    syscall
+    mov rcx, __elfie_pipetmp
+    ld4 rdi, [rcx+4]
+    mov rax, 33                 ; park end 1
+    mov rsi, {scratch1}
+    syscall
+    mov rcx, __elfie_pipetmp
+    ld4 rdi, [rcx+4]
+    mov rax, 3
+    syscall
+""")
+                # end0 reads key[0]: its inbound bytes are written by
+                # the peer (end1), and vice versa.
+                if plan["data0"]:
+                    lines.append(f"""
+    mov rax, 1                  ; refill end-0 inbound bytes
+    mov rdi, {scratch1}
+    mov rsi, __elfie_chdata_{key[0]}
+    mov rdx, {len(plan['data0'])}
+    syscall
+""")
+                if plan["data1"]:
+                    lines.append(f"""
+    mov rax, 1                  ; refill end-1 inbound bytes
+    mov rdi, {scratch0}
+    mov rsi, __elfie_chdata_{key[1]}
+    mov rdx, {len(plan['data1'])}
+    syscall
+""")
+                self._emit_fd_placement(lines, scratch0, plan["end0_fds"])
+                self._emit_fd_placement(lines, scratch1, plan["end1_fds"])
+            elif kind == "listener":
+                port = plan["port"]
+                lines.append(f"""
+    mov rax, 41                 ; socket(AF_INET)
+    mov rdi, 2
+    mov rsi, 1
+    mov rdx, 0
+    syscall
+    mov r12, rax
+    mov rax, 49                 ; bind(fd, port {port})
+    mov rdi, r12
+    mov rsi, __elfie_sockaddr_{port}
+    syscall
+    mov rax, 50                 ; listen(fd, {plan['backlog']})
+    mov rdi, r12
+    mov rsi, {plan['backlog']}
+    syscall
+    mov rdi, r12
+    mov rax, 33                 ; park the listener
+    mov rsi, {scratch0}
+    syscall
+    mov rdi, r12
+    mov rax, 3
+    syscall
+""")
+                self._emit_fd_placement(lines, scratch0, plan["fds"])
+            elif kind == "plain_socket":
+                lines.append(f"""
+    mov rax, 41                 ; socket(AF_UNIX): unconnected
+    mov rdi, 1
+    mov rsi, 1
+    mov rdx, 0
+    syscall
+    mov rdi, rax
+    mov rax, 33                 ; park it (rdi survives the syscall)
+    mov rsi, {scratch0}
+    syscall
+    mov rax, 3
+    syscall
+""")
+                self._emit_fd_placement(lines, scratch0, plan["fds"])
+
+    def _emit_fd_placement(self, lines: List[str], scratch: int,
+                           targets: List[int]) -> None:
+        """dup2 a parked endpoint onto its captured fds, then drop it."""
+        for target in targets:
+            lines.append(f"""
+    mov rax, 33                 ; dup2(scratch, {target})
+    mov rdi, {scratch}
+    mov rsi, {target}
+    syscall
+""")
+        lines.append(f"""
+    mov rax, 3                  ; close the scratch slot
+    mov rdi, {scratch}
+    syscall
+""")
 
     def _thread_tail_lines(self, position: int, record) -> List[str]:
         """Instructions from context restore to the application jump.
@@ -255,6 +634,26 @@ __elfie_copy_{index}:
         for position, record in enumerate(records):
             tail = self._thread_tail_lines(position, record)
             lines = [f"__elfie_thread_init_{position}:"]
+            # Per-thread signal state, before the callback so the lines
+            # retire outside the armed graceful-exit budget.  The clone
+            # loop creates threads in position order, so the ELFie tid
+            # of position p is deterministic.  Pending bits are raised
+            # while the startup-wide block-all mask (inherited through
+            # clone) is still up, then the captured mask replaces it.
+            if self._has_signal_state():
+                elfie_tid = position + (1 if self.with_monitor else 0)
+                for signum in _mask_bits(record.pending):
+                    lines.append(f"""
+    mov rax, 200                ; tkill(self, {signum}): re-raise pending
+    mov rdi, {elfie_tid}
+    mov rsi, {signum}
+    syscall""")
+                lines.append(f"""
+    mov rax, 14                 ; rt_sigprocmask(SETMASK, saved, 0)
+    mov rdi, 2
+    mov rsi, __elfie_sigmask_{position}
+    mov rdx, 0
+    syscall""")
             if want_thread_cb:
                 budget = 0
                 if self.perf_exit:
@@ -318,6 +717,58 @@ __elfie_copy_{index}:
             asm.add(".align 8")
             asm.define_label(f"__elfie_staging_{index}")
             asm.emit_bytes(self._stack_bytes(start, length))
+        # kernel-IPC staging: shm segment content, pipe() result slot,
+        # channel buffer refills, listener sockaddrs
+        shm_plan = self._shm_plan()
+        if shm_plan:
+            asm.add(".align 8")
+            for shmid, segment in shm_plan:
+                if segment is None:
+                    continue
+                blob = self._shm_staging_bytes(segment)
+                if blob:
+                    asm.define_label(f"__elfie_shm_{shmid}")
+                    asm.emit_bytes(blob)
+        channel_plans = self._channel_plans()
+        if channel_plans:
+            asm.add(".align 8")
+            asm.define_label("__elfie_pipetmp")
+            asm.emit_bytes(b"\x00" * 8)
+            emitted_data = set()
+            emitted_ports = set()
+            for plan in channel_plans:
+                if plan["type"] == "pipe" and plan["data"]:
+                    if plan["cid"] not in emitted_data:
+                        emitted_data.add(plan["cid"])
+                        asm.define_label(f"__elfie_chdata_{plan['cid']}")
+                        asm.emit_bytes(plan["data"])
+                elif plan["type"] == "pair":
+                    for cid, data in zip(plan["key"],
+                                         (plan["data0"], plan["data1"])):
+                        if data and cid not in emitted_data:
+                            emitted_data.add(cid)
+                            asm.define_label(f"__elfie_chdata_{cid}")
+                            asm.emit_bytes(data)
+                elif plan["type"] == "listener":
+                    if plan["port"] not in emitted_ports:
+                        emitted_ports.add(plan["port"])
+                        asm.define_label(f"__elfie_sockaddr_{plan['port']}")
+                        blob = struct.pack("<H", 2)          # sin_family
+                        blob += struct.pack(">H", plan["port"])
+                        asm.emit_bytes(blob + b"\x00" * 12)
+        # saved sigaction blobs (guest layout: handler u64, mask u64),
+        # the startup-wide block-all mask, and per-thread signal masks
+        if self._has_signal_state():
+            asm.add(".align 8")
+            for index, signum in enumerate(sorted(self.pinball.sigactions)):
+                handler, mask = self.pinball.sigactions[signum]
+                asm.define_label(f"__elfie_sigact_{index}")
+                asm.emit_bytes(struct.pack("<QQ", handler, mask))
+            asm.define_label("__elfie_sigall")
+            asm.emit_bytes(struct.pack("<Q", (1 << 64) - 1))
+            for position, record in enumerate(records):
+                asm.define_label(f"__elfie_sigmask_{position}")
+                asm.emit_bytes(struct.pack("<Q", record.sigmask))
         # sysstate FD path strings
         if self.sysstate is not None:
             for index, proxy in enumerate(self.sysstate.fd_files):

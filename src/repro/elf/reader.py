@@ -8,6 +8,7 @@ structure.
 
 from __future__ import annotations
 
+import struct
 from dataclasses import dataclass
 from typing import Dict, List, Optional
 
@@ -128,6 +129,19 @@ class ElfFile:
     def symbol_map(self) -> Dict[str, int]:
         """Mapping from symbol name to value (later entries win)."""
         return {symbol.name: symbol.value for symbol in self.symbols}
+
+    def relocations(self) -> List[int]:
+        """Image-base relocation vaddrs from ``.pxreloc`` (empty if none).
+
+        Each is the link-time virtual address of an 8-byte slot holding
+        an absolute in-image address; an ASLR loader adds its slide to
+        the slot and to the address stored there.
+        """
+        for section in self.sections:
+            if section.name == ".pxreloc":
+                count = len(section.data) // 8
+                return list(struct.unpack("<%dQ" % count, section.data[:count * 8]))
+        return []
 
     @classmethod
     def from_path(cls, path: str) -> "ElfFile":

@@ -9,6 +9,7 @@ table but get no PT_LOAD entry, so the loader never maps them.
 
 from __future__ import annotations
 
+import struct
 from dataclasses import dataclass
 from typing import Dict, List
 
@@ -88,6 +89,20 @@ class ElfBuilder:
         self.symbols.append(
             Symbol(name=name, value=value, size=size, sym_type=sym_type)
         )
+
+    def add_relocations(self, vaddrs: "List[int]") -> None:
+        """Record image-base relocations in a non-alloc ``.pxreloc``.
+
+        Each entry is the virtual address (at the link-time base) of an
+        8-byte slot holding an absolute in-image address; an ASLR loader
+        adds its slide to every slot.  The section is not allocatable,
+        so non-randomizing loaders never see it.
+        """
+        if not vaddrs:
+            return
+        payload = struct.pack("<%dQ" % len(vaddrs), *sorted(vaddrs))
+        self.add_section(".pxreloc", payload, addr=0, flags=0,
+                        sh_type=SHT_PROGBITS, align=8, prot=0)
 
     # -- layout ---------------------------------------------------------------
 

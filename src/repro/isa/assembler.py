@@ -30,7 +30,13 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.isa.encoding import encode
-from repro.isa.instructions import Instruction, Op, OPCODE_TABLE, Operand
+from repro.isa.instructions import (
+    Instruction,
+    Op,
+    OPCODE_TABLE,
+    OPERAND_SIZE,
+    Operand,
+)
 from repro.isa.registers import GPR_INDEX, XMM_INDEX
 
 
@@ -76,11 +82,19 @@ class _Item:
 
 @dataclass
 class AssembledProgram:
-    """Result of assembling a source text or emit sequence."""
+    """Result of assembling a source text or emit sequence.
+
+    ``relocs`` lists the byte offsets (relative to ``base``) of every
+    8-byte field holding a label's *absolute* address — MOV_RI/JMPABS
+    immediates and ``.quad label`` slots.  A loader sliding the image
+    (ASLR) must add the slide to each of these; REL32 branches are
+    PC-relative and need no fixup.
+    """
 
     base: int
     code: bytes
     labels: Dict[str, int]
+    relocs: List[int] = field(default_factory=list)
 
     @property
     def size(self) -> int:
@@ -546,18 +560,22 @@ class Assembler:
         """Run the second pass and produce the final program bytes."""
         out = bytearray()
         offset = 0
+        relocs: List[int] = []
         for item in self._items:
             if item.kind == "data":
                 blob = bytearray(item.data)
                 for pos, ref in item.sym_quads:
                     addr = self._resolve(ref, 0)
                     struct.pack_into("<Q", blob, pos, int(addr) & ((1 << 64) - 1))
+                    relocs.append(offset + pos)
                 out += blob
             else:
                 assert item.op is not None
                 pc_after = self.base + offset + item.size
                 resolved = []
+                field_offset = offset + 1  # past the opcode byte
                 for kind, value in zip(OPCODE_TABLE[item.op], item.operands):
+                    was_label = isinstance(value, LabelRef)
                     value = self._resolve(value, pc_after)
                     if kind == Operand.REL32 and isinstance(value, int):
                         # branch targets were resolved to absolute addresses;
@@ -565,11 +583,17 @@ class Assembler:
                         orig = item.operands[len(resolved)]
                         if isinstance(orig, LabelRef):
                             value = value - pc_after
+                    elif kind == Operand.I64 and was_label:
+                        # Absolute address baked into an 8-byte immediate
+                        # (MOV_RI / JMPABS): slid by the ASLR loader.
+                        relocs.append(field_offset)
                     resolved.append(value)
+                    field_offset += OPERAND_SIZE[kind]
                 out += encode(Instruction(item.op, tuple(resolved)))
             offset += item.size
         labels = {name: self.base + off for name, off in self._labels.items()}
-        return AssembledProgram(base=self.base, code=bytes(out), labels=labels)
+        return AssembledProgram(base=self.base, code=bytes(out), labels=labels,
+                                relocs=relocs)
 
 
 def assemble(text: str, base: int = 0) -> AssembledProgram:

@@ -249,6 +249,11 @@ class Cpu:
         self.hw_llc: List[int] = [-1] * HW_LLC_SETS
         #: Set by Machine.request_stop to break out of the slice loop.
         self.stop_flag: Optional[str] = None
+        #: Set by the kernel when a syscall raised or unmasked a signal:
+        #: the current slice ends so delivery (a quantum-boundary event)
+        #: happens promptly.  The recorded schedule keeps the shortened
+        #: slice, so replay ends it at the same instruction.
+        self.yield_flag = False
         # Memory instrumentation hooks (set by Machine when tools want them).
         self.read_hook: Optional[Callable[["Thread", int, int], None]] = None
         self.write_hook: Optional[Callable[["Thread", int, int], None]] = None
@@ -541,6 +546,10 @@ class Cpu:
             if (self.stop_flag is not None or not thread.alive
                     or thread.blocked):
                 break
+            if self.yield_flag:
+                # Left set: the machine consumes it to forfeit the
+                # slice remainder (not park it), so delivery runs next.
+                break
             if thread.icount >= thread.icount_limit:
                 # Exactly at the limit: report it and re-check (the hook
                 # may clear the limit, block the thread, or stop the run;
@@ -800,6 +809,8 @@ class Cpu:
             if thread.icount >= thread.pmu_trap_at:
                 self._pmu_redirect(thread)
             if not thread.alive or thread.blocked:
+                break
+            if self.yield_flag:
                 break
             if self.stop_flag is not None:
                 break

@@ -22,7 +22,7 @@ from __future__ import annotations
 import random
 import struct
 from dataclasses import dataclass, field
-from typing import Dict, Optional, Sequence
+from typing import Dict, List, Optional, Sequence
 
 from repro.elf.reader import ElfFile, ElfFormatError
 from repro.elf.structs import PT_LOAD, pflags_to_prot
@@ -39,6 +39,11 @@ STACK_PAGES = 16
 STACK_RANDOM_PAGES = 2048
 #: Minimum usable stack bytes below the argument block for startup code.
 MIN_STACK_BYTES = 4 * PAGE_SIZE
+#: ASLR slides the image base by 1..ASLR_SLIDE_PAGES-1 pages (never 0,
+#: so a randomized load is always observably different from a fixed
+#: one).  128 MiB of spread keeps slid images far below the stack
+#: region while exercising every relocation.
+ASLR_SLIDE_PAGES = 32768
 
 AT_NULL = 0
 AT_PAGESZ = 6
@@ -67,12 +72,20 @@ class LoadedImage:
     elf: ElfFile
     symbols: Dict[str, int] = field(default_factory=dict)
     stack_shrunk: bool = False
+    #: Bytes the image base was slid by (0 = loaded at link addresses).
+    load_bias: int = 0
 
 
 def _randomized_stack_top(seed: int) -> int:
     rng = random.Random(seed ^ 0x5AC4_B00C)
     offset_pages = rng.randrange(STACK_RANDOM_PAGES)
     return STACK_TOP_LIMIT - offset_pages * PAGE_SIZE
+
+
+def aslr_slide(aslr_seed: int) -> int:
+    """Deterministic page-aligned image-base slide for *aslr_seed*."""
+    rng = random.Random(aslr_seed ^ 0xA51E_D1CE)
+    return rng.randrange(1, ASLR_SLIDE_PAGES) * PAGE_SIZE
 
 
 def _build_stack(machine: Machine, stack_top: int, stack_bottom: int,
@@ -126,11 +139,18 @@ def load_elf(machine: Machine, image: bytes,
              argv: Optional[Sequence[str]] = None,
              envp: Optional[Sequence[str]] = None,
              stack_seed: Optional[int] = None,
-             stack_pages: int = STACK_PAGES) -> LoadedImage:
+             stack_pages: int = STACK_PAGES,
+             aslr_seed: Optional[int] = None) -> LoadedImage:
     """Load an ELF executable into *machine* and create its main thread.
 
     *stack_seed* drives stack randomization; it defaults to the
     machine's scheduler seed so one seed reproduces one run exactly.
+
+    *aslr_seed*, when given, slides the whole image (segments, entry,
+    symbols, heap break) by a deterministic nonzero page-aligned offset
+    and patches every ``.pxreloc`` slot so absolute addresses embedded
+    in code and data stay correct.  An image without relocation records
+    is slid as-is (assumed to hold no absolute addresses).
     """
     argv = list(argv) if argv is not None else ["a.out"]
     envp = list(envp) if envp is not None else ["PATH=/usr/bin"]
@@ -143,6 +163,12 @@ def load_elf(machine: Machine, image: bytes,
     if not elf.segments:
         raise LoaderError("no loadable segments (not an executable?)")
 
+    slide = 0
+    relocs: List[int] = []
+    if aslr_seed is not None:
+        slide = aslr_slide(aslr_seed)
+        relocs = elf.relocations()
+
     max_end = 0
     for segment in elf.segments:
         if segment.p_type != PT_LOAD:
@@ -150,11 +176,23 @@ def load_elf(machine: Machine, image: bytes,
         if segment.p_memsz == 0:
             continue
         prot = pflags_to_prot(segment.p_flags)
-        base = page_align_down(segment.p_vaddr)
-        end = page_align_up(segment.p_vaddr + segment.p_memsz)
+        vaddr = segment.p_vaddr + slide
+        base = page_align_down(vaddr)
+        end = page_align_up(vaddr + segment.p_memsz)
         machine.mem.map(base, end - base, prot)
         data = elf.segment_data(segment)
-        machine.mem._write_raw(segment.p_vaddr, data)
+        if slide:
+            seg_lo = segment.p_vaddr
+            seg_hi = segment.p_vaddr + len(data)
+            patched = bytearray(data)
+            for slot in relocs:
+                if seg_lo <= slot and slot + 8 <= seg_hi:
+                    off = slot - seg_lo
+                    value = struct.unpack_from("<Q", patched, off)[0]
+                    struct.pack_into("<Q", patched, off,
+                                     (value + slide) & 0xFFFF_FFFF_FFFF_FFFF)
+            data = bytes(patched)
+        machine.mem._write_raw(vaddr, data)
         max_end = max(max_end, end)
 
     # Stack reservation with randomization and collision shrink.
@@ -176,22 +214,28 @@ def load_elf(machine: Machine, image: bytes,
         )
     machine.mem.map(bottom, stack_top - bottom, PROT_RW)
 
+    entry = elf.entry + slide
     rsp = _build_stack(machine, stack_top, bottom, argv, envp,
-                       elf.entry, stack_seed)
+                       entry, stack_seed)
 
     # Heap break goes just past the highest mapped segment.
     machine.kernel.set_brk(max_end + PAGE_SIZE)
 
     thread = machine.create_thread()
-    thread.regs.rip = elf.entry
+    thread.regs.rip = entry
     thread.regs.rsp = rsp
 
+    symbols = elf.symbol_map()
+    if slide:
+        symbols = {name: value + slide for name, value in symbols.items()}
+
     return LoadedImage(
-        entry=elf.entry,
+        entry=entry,
         stack_top=stack_top,
         initial_rsp=rsp,
         main_thread=thread,
         elf=elf,
-        symbols=elf.symbol_map(),
+        symbols=symbols,
         stack_shrunk=shrunk,
+        load_bias=slide,
     )

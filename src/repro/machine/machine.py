@@ -37,6 +37,14 @@ class Thread:
     alive: bool = True
     blocked: bool = False
     futex_addr: Optional[int] = None
+    #: Channel id this thread is blocked on (pipe/socket read, write, or
+    #: accept); the interrupted syscall's rip is rewound so a wake-up
+    #: re-executes it (syscall-restart semantics).
+    wait_channel: Optional[int] = None
+    #: Blocked-signal bitmask (bit N-1 = signal N), rt_sigprocmask(2).
+    sigmask: int = 0
+    #: Thread-directed pending signals (tkill/tgkill).
+    pending: int = 0
     exit_code: int = 0
     #: Retired-instruction count (the canonical PMU instructions counter).
     icount: int = 0
@@ -277,13 +285,21 @@ class Machine:
         yields ``kind == "stopped"``.
         """
         self.cpu.stop_flag = None
+        self.cpu.yield_flag = False
         while self.exit_status is None:
+            if not self.scheduler.mid_slice:
+                # Quantum-boundary signal delivery.  Skipped while a cut
+                # slice's remainder is parked: a budget-stepped run must
+                # deliver at the same boundaries as a straight run.
+                self.kernel.deliver_pending_signals()
+                if self.exit_status is not None:
+                    break
             runnable = self.runnable_tids()
             if not runnable:
                 if any(t.blocked for t in self.threads.values()):
                     self.deliver_fault(
                         next(iter(self.threads.values())), SIGSEGV,
-                        "deadlock: all threads blocked on futexes",
+                        "deadlock: all threads blocked (futex/channel waits)",
                     )
                 break
             if max_instructions is not None:
@@ -309,9 +325,15 @@ class Machine:
                 self.deliver_fault(thread, exc.signal, str(exc))
                 break
             self.executed_total += executed
+            yielded = self.cpu.yield_flag
+            self.cpu.yield_flag = False
             if executed != slice_.quantum:
-                self.scheduler.note_partial(slice_, executed,
-                                            resumable=thread.runnable)
+                # A signal-raising syscall forfeits the slice remainder
+                # (not resumable): the shortened slice is recorded, so
+                # replay reaches the delivery boundary at the same spot.
+                self.scheduler.note_partial(
+                    slice_, executed,
+                    resumable=thread.runnable and not yielded)
             if self.cpu.stop_flag is not None:
                 return self._stopped(self.cpu.stop_flag)
             if (max_instructions is not None

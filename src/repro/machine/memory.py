@@ -146,6 +146,17 @@ class AddressSpace:
             else:
                 exec_pages.discard(page)
 
+    def protect_mapped(self, addr: int, length: int, prot: int) -> bool:
+        """Like :meth:`protect`, but returns False instead of raising
+        when any page in the range is unmapped (mprotect's ENOMEM case,
+        distinct from caller-side EINVAL argument errors)."""
+        start = page_align_down(addr) >> PAGE_SHIFT
+        end = page_align_up(addr + length) >> PAGE_SHIFT
+        if any(page not in self._perms for page in range(start, end)):
+            return False
+        self.protect(addr, length, prot)
+        return True
+
     def is_mapped(self, addr: int) -> bool:
         return (addr >> PAGE_SHIFT) in self._pages
 

@@ -51,6 +51,11 @@ class Scheduler:
         self._replay_log: Optional[List[ScheduleSlice]] = None
         self._replay_pos = 0
         self._replay_pending: Optional[ScheduleSlice] = None
+        #: True while the parked remainder belongs to a still-runnable
+        #: thread (a budget/stop cut, not a block).  The machine defers
+        #: signal delivery while this is set so a budget-stepped run
+        #: delivers at the same retire boundaries as a straight run.
+        self._pending_resumable = False
         self.trace: List[ScheduleSlice] = []
         self.record = False
 
@@ -59,6 +64,13 @@ class Scheduler:
         self._replay_log = list(log)
         self._replay_pos = 0
         self._replay_pending = None
+        self._pending_resumable = False
+
+    @property
+    def mid_slice(self) -> bool:
+        """True when a cut slice's remainder from a still-runnable thread
+        is parked (the logical quantum has not finished yet)."""
+        return self._replay_pending is not None and self._pending_resumable
 
     @property
     def replaying(self) -> bool:
@@ -88,6 +100,7 @@ class Scheduler:
             # uninterrupted one.
             entry = self._replay_pending
             self._replay_pending = None
+            self._pending_resumable = False
             if entry.tid in tids:
                 if self.record:
                     self.trace.append(entry)
@@ -152,3 +165,4 @@ class Scheduler:
                                           or self._replay_log is not None):
             self._replay_pending = ScheduleSlice(
                 tid=slice_.tid, quantum=slice_.quantum - executed)
+            self._pending_resumable = resumable

@@ -22,8 +22,9 @@ from typing import TYPE_CHECKING, Optional
 
 from repro.isa.registers import RegisterFile
 from repro.machine.cpu import NO_TRAP
+from repro.machine.kernel import Listener, ShmSegment
 from repro.machine.scheduler import ScheduleSlice
-from repro.machine.vfs import OpenFile, _Inode
+from repro.machine.vfs import Channel, OpenFile, _Inode
 from repro.snapshot.plugins import SnapshotPlugin, register_plugin
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
@@ -56,6 +57,9 @@ def _encode_thread(thread: "Thread") -> dict:
         "pmu_handler": thread.pmu_handler,
         "icount_limit": _encode_limit(thread.icount_limit),
         "new_block": thread.new_block,
+        "sigmask": thread.sigmask,
+        "pending": thread.pending,
+        "wait_channel": thread.wait_channel,
     }
 
 
@@ -94,6 +98,7 @@ class MachineSnapshotPlugin(SnapshotPlugin):
                           scheduler._replay_pending.quantum]),
                 "record": scheduler.record,
                 "trace": _slices(scheduler.trace),
+                "pending_resumable": scheduler._pending_resumable,
             },
             "cpu": {
                 "hw_l1": list(cpu.hw_l1),
@@ -135,6 +140,9 @@ class MachineSnapshotPlugin(SnapshotPlugin):
             thread.pmu_handler = record["pmu_handler"]
             thread.icount_limit = _decode_limit(record["icount_limit"])
             thread.new_block = record["new_block"]
+            thread.sigmask = record.get("sigmask", 0)
+            thread.pending = record.get("pending", 0)
+            thread.wait_channel = record.get("wait_channel")
         machine._next_tid = state["next_tid"]
         machine.executed_total = state["executed_total"]
 
@@ -155,6 +163,8 @@ class MachineSnapshotPlugin(SnapshotPlugin):
             else ScheduleSlice(tid=pending[0], quantum=pending[1]))
         scheduler.record = sched_state["record"]
         scheduler.trace = _unslices(sched_state["trace"])
+        scheduler._pending_resumable = sched_state.get(
+            "pending_resumable", False)
 
         cpu_state = state["cpu"]
         cpu = machine.cpu
@@ -223,6 +233,12 @@ class KernelSnapshotPlugin(SnapshotPlugin):
                     "offset": open_file.offset,
                     "is_console": open_file.is_console,
                     "inode": inode_ref,
+                    "kind": open_file.kind,
+                    "read_cid": (open_file.read_ch.cid
+                                 if open_file.read_ch else None),
+                    "write_cid": (open_file.write_ch.cid
+                                  if open_file.write_ch else None),
+                    "bound_port": open_file.bound_port,
                 })
             fds.append([fd, index])
         return {
@@ -241,6 +257,34 @@ class KernelSnapshotPlugin(SnapshotPlugin):
             "stdin": bytes(fdt.stdin).hex(),
             "stdout": bytes(fdt.stdout).hex(),
             "stderr": bytes(fdt.stderr).hex(),
+            "sigactions": [[sig, handler, mask] for sig, (handler, mask)
+                           in sorted(kernel.sigactions.items())],
+            "process_pending": kernel.process_pending,
+            "channels": [{
+                "cid": chan.cid,
+                "capacity": chan.capacity,
+                "data": bytes(chan.data).hex(),
+                "readers": chan.readers,
+                "writers": chan.writers,
+            } for cid, chan in sorted(kernel.channels.items())],
+            "next_channel_id": kernel._next_channel_id,
+            "channel_waiters": [[cid, list(tids)] for cid, tids
+                                in sorted(kernel._channel_waiters.items())],
+            "listeners": [{
+                "port": listener.port,
+                "backlog": listener.backlog,
+                "queue": [[rc, wc] for rc, wc in listener.queue],
+                "wait_cid": listener.wait_cid,
+            } for port, listener in sorted(kernel._listeners.items())],
+            "shm_segments": [{
+                "shmid": seg.shmid,
+                "key": seg.key,
+                "size": seg.size,
+                "data": bytes(seg.data).hex(),
+                "attached_at": seg.attached_at,
+                "attached_len": seg.attached_len,
+            } for shmid, seg in sorted(kernel.shm_segments.items())],
+            "next_shmid": kernel._next_shmid,
         }
 
     def restore(self, machine: "Machine", state: dict) -> None:
@@ -253,6 +297,33 @@ class KernelSnapshotPlugin(SnapshotPlugin):
                                for addr, data in state["last_effects"]]
         kernel._futex_waiters = {addr: list(tids)
                                  for addr, tids in state["futex_waiters"]}
+        kernel.sigactions = {sig: (handler, mask) for sig, handler, mask
+                             in state.get("sigactions", [])}
+        kernel.process_pending = state.get("process_pending", 0)
+        kernel.channels = {}
+        for record in state.get("channels", []):
+            kernel.channels[record["cid"]] = Channel(
+                cid=record["cid"], capacity=record["capacity"],
+                data=bytearray(bytes.fromhex(record["data"])),
+                readers=record["readers"], writers=record["writers"])
+        kernel._next_channel_id = state.get("next_channel_id", 1)
+        kernel._channel_waiters = {cid: list(tids) for cid, tids
+                                   in state.get("channel_waiters", [])}
+        kernel._listeners = {}
+        for record in state.get("listeners", []):
+            kernel._listeners[record["port"]] = Listener(
+                port=record["port"], backlog=record["backlog"],
+                queue=[(rc, wc) for rc, wc in record["queue"]],
+                wait_cid=record["wait_cid"])
+        kernel.shm_segments = {}
+        for record in state.get("shm_segments", []):
+            kernel.shm_segments[record["shmid"]] = ShmSegment(
+                shmid=record["shmid"], key=record["key"],
+                size=record["size"],
+                data=bytearray(bytes.fromhex(record["data"])),
+                attached_at=record["attached_at"],
+                attached_len=record["attached_len"])
+        kernel._next_shmid = state.get("next_shmid", 1)
         kernel.fs._inodes.clear()
         inode_objects = []
         for record in state["inodes"]:
@@ -265,11 +336,21 @@ class KernelSnapshotPlugin(SnapshotPlugin):
         for record in state["files"]:
             inode = (inode_objects[record["inode"]]
                      if record["inode"] is not None else None)
+            read_cid = record.get("read_cid")
+            write_cid = record.get("write_cid")
             file_objects.append(OpenFile(
                 path=record["path"], flags=record["flags"],
                 offset=record["offset"], inode=inode,
-                is_console=record["is_console"]))
+                is_console=record["is_console"],
+                kind=record.get("kind", "file"),
+                read_ch=(kernel.channels[read_cid]
+                         if read_cid is not None else None),
+                write_ch=(kernel.channels[write_cid]
+                          if write_cid is not None else None),
+                bound_port=record.get("bound_port")))
         fdt._fds.clear()
+        # Direct assignment: channel reader/writer counts were captured
+        # with the channel records and must not be re-accounted.
         for fd, index in state["fds"]:
             fdt._fds[fd] = file_objects[index]
         fdt.stdin = bytearray(bytes.fromhex(state["stdin"]))

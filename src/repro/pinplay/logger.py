@@ -101,6 +101,7 @@ class _RecordingTool(Tool):
                 result=result,
                 writes=list(machine.kernel.last_effects),
                 path=path,
+                native=machine.kernel.last_native,
             )
         )
 
@@ -110,6 +111,8 @@ def _thread_snapshot(thread) -> ThreadRecord:
     record = ThreadRecord(
         tid=thread.tid, regs=thread.regs.copy(),
         blocked=thread.blocked, futex_addr=thread.futex_addr,
+        sigmask=thread.sigmask, pending=thread.pending,
+        wait_channel=thread.wait_channel,
     )
     if thread.pmu_trap_at != NO_TRAP:
         # The trap point is an absolute icount; replay threads restart
@@ -122,12 +125,19 @@ def _thread_snapshot(thread) -> ThreadRecord:
 def _capture_open_files(machine: Machine) -> List[OpenFileRecord]:
     """Snapshot the non-console descriptor table at region start."""
     fdt = machine.kernel.fdt
-    return [
-        OpenFileRecord(fd=fd, path=fdt.fd_path(fd), flags=fdt.fd_flags(fd),
-                       offset=fdt.fd_offset(fd))
-        for fd in fdt.open_fds()
-        if not fdt.is_console_fd(fd)
-    ]
+    records = []
+    for fd in fdt.open_fds():
+        if fdt.is_console_fd(fd):
+            continue
+        of = fdt.entry(fd)
+        records.append(OpenFileRecord(
+            fd=fd, path=of.path, flags=of.flags, offset=of.offset,
+            kind=of.kind,
+            read_cid=of.read_ch.cid if of.read_ch else None,
+            write_cid=of.write_ch.cid if of.write_ch else None,
+            bound_port=of.bound_port,
+        ))
+    return records
 
 
 def _capture_futex_waiters(machine: Machine) -> Dict[int, List[int]]:
@@ -137,11 +147,56 @@ def _capture_futex_waiters(machine: Machine) -> Dict[int, List[int]]:
             if tids}
 
 
+def _capture_kernel_ipc(machine: Machine) -> dict:
+    """Snapshot channel/signal/shm kernel state at region start.
+
+    Returned keys match :class:`Pinball` field names so callers can
+    splat the dict straight into the constructor.
+    """
+    kernel = machine.kernel
+    return {
+        "channels": {
+            chan.cid: {
+                "capacity": chan.capacity,
+                "data": bytes(chan.data).hex(),
+                "readers": chan.readers,
+                "writers": chan.writers,
+            }
+            for chan in kernel.channels.values()
+        },
+        "channel_waiters": {cid: list(tids) for cid, tids
+                            in kernel._channel_waiters.items() if tids},
+        "listeners": {
+            listener.port: {
+                "backlog": listener.backlog,
+                "wait_cid": listener.wait_cid,
+                "queue": [[rc, wc] for rc, wc in listener.queue],
+            }
+            for listener in kernel._listeners.values()
+        },
+        "sigactions": dict(kernel.sigactions),
+        "process_pending": kernel.process_pending,
+        "shm_segments": {
+            seg.shmid: {
+                "key": seg.key,
+                "size": seg.size,
+                "data": bytes(seg.data).hex(),
+                "attached_at": seg.attached_at,
+                "attached_len": seg.attached_len,
+            }
+            for seg in kernel.shm_segments.values()
+        },
+        "next_channel_id": kernel._next_channel_id,
+        "next_shmid": kernel._next_shmid,
+    }
+
+
 def log_regions(image: bytes, regions: Sequence[RegionSpec],
                 seed: int = 0,
                 argv: Optional[Sequence[str]] = None,
                 fs: Optional[FileSystem] = None,
-                fat: bool = True) -> Dict[str, Pinball]:
+                fat: bool = True,
+                aslr_seed: Optional[int] = None) -> Dict[str, Pinball]:
     """Capture several regions of one program in a single run.
 
     Functionally equivalent to calling :func:`log_region` once per
@@ -163,7 +218,7 @@ def log_regions(image: bytes, regions: Sequence[RegionSpec],
                 % (earlier.name, later.name))
 
     machine = Machine(seed=seed, fs=fs)
-    load_elf(machine, image, argv=argv)
+    load_elf(machine, image, argv=argv, aslr_seed=aslr_seed)
     recorder = _RecordingTool(lazy=False)
     out: Dict[str, Pinball] = {}
 
@@ -193,6 +248,7 @@ def log_regions(image: bytes, regions: Sequence[RegionSpec],
         next_tid = machine._next_tid
         open_files = _capture_open_files(machine)
         futex_waiters = _capture_futex_waiters(machine)
+        ipc_state = _capture_kernel_ipc(machine)
         recorder.syscalls = []
         machine.attach(recorder)
         machine.scheduler.record = True
@@ -225,6 +281,7 @@ def log_regions(image: bytes, regions: Sequence[RegionSpec],
             next_tid=next_tid,
             open_files=open_files,
             futex_waiters=futex_waiters,
+            **ipc_state,
         )
         if status.kind != "stopped":
             break
@@ -235,7 +292,8 @@ def log_region(image: bytes, region: RegionSpec,
                options: Optional[LogOptions] = None,
                seed: int = 0,
                argv: Optional[Sequence[str]] = None,
-               fs: Optional[FileSystem] = None) -> Pinball:
+               fs: Optional[FileSystem] = None,
+               aslr_seed: Optional[int] = None) -> Pinball:
     """Run *image* and capture *region* (warmup included) as a pinball.
 
     The captured window is ``[region.warmup_start, region.end)`` so that
@@ -247,7 +305,7 @@ def log_region(image: bytes, region: RegionSpec,
     whole_image, pages_early = options.resolved()
 
     machine = Machine(seed=seed, fs=fs)
-    load_elf(machine, image, argv=argv)
+    load_elf(machine, image, argv=argv, aslr_seed=aslr_seed)
 
     window_start = region.warmup_start
     window_length = region.end - window_start
@@ -282,6 +340,7 @@ def log_region(image: bytes, region: RegionSpec,
     next_tid = machine._next_tid
     open_files = _capture_open_files(machine)
     futex_waiters = _capture_futex_waiters(machine)
+    ipc_state = _capture_kernel_ipc(machine)
 
     # Record during the window.
     recorder = _RecordingTool(lazy=not pages_early)
@@ -330,4 +389,5 @@ def log_region(image: bytes, region: RegionSpec,
         next_tid=next_tid,
         open_files=open_files,
         futex_waiters=futex_waiters,
+        **ipc_state,
     )

@@ -51,6 +51,11 @@ class SyscallRecord:
     writes: List[Tuple[int, bytes]] = field(default_factory=list)
     #: Path string for open(2) calls (captured at log time).
     path: Optional[str] = None
+    #: Whether the call mutated kernel state (channels, signal state,
+    #: memory maps, ...) and must be *re-executed* during replay rather
+    #: than injected.  Captured from the recording kernel so replay
+    #: agrees with it per call, not per syscall number.
+    native: bool = False
 
     def to_json(self) -> dict:
         return {
@@ -60,6 +65,7 @@ class SyscallRecord:
             "result": self.result,
             "writes": [[addr, data.hex()] for addr, data in self.writes],
             "path": self.path,
+            "native": self.native,
         }
 
     @classmethod
@@ -72,6 +78,7 @@ class SyscallRecord:
             writes=[(addr, bytes.fromhex(hexdata))
                     for addr, hexdata in data["writes"]],
             path=data.get("path"),
+            native=data.get("native", False),
         )
 
 
@@ -88,15 +95,27 @@ class OpenFileRecord:
     path: str
     flags: int = 0
     offset: int = 0
+    #: "file" descriptors restore from the file system; "pipe"/"socket"
+    #: endpoints restore against the pinball's channel table instead.
+    kind: str = "file"
+    read_cid: Optional[int] = None
+    write_cid: Optional[int] = None
+    bound_port: Optional[int] = None
 
     def to_json(self) -> dict:
         return {"fd": self.fd, "path": self.path, "flags": self.flags,
-                "offset": self.offset}
+                "offset": self.offset, "kind": self.kind,
+                "read_cid": self.read_cid, "write_cid": self.write_cid,
+                "bound_port": self.bound_port}
 
     @classmethod
     def from_json(cls, data: dict) -> "OpenFileRecord":
         return cls(fd=data["fd"], path=data["path"],
-                   flags=data.get("flags", 0), offset=data.get("offset", 0))
+                   flags=data.get("flags", 0), offset=data.get("offset", 0),
+                   kind=data.get("kind", "file"),
+                   read_cid=data.get("read_cid"),
+                   write_cid=data.get("write_cid"),
+                   bound_port=data.get("bound_port"))
 
 
 @dataclass
@@ -116,6 +135,11 @@ class ThreadRecord:
     #: and execution diverges at the recorded trap point.
     pmu_remaining: Optional[int] = None
     pmu_handler: Optional[int] = None
+    #: POSIX signal state at region start (blocked mask, pending set).
+    sigmask: int = 0
+    pending: int = 0
+    #: Channel id the thread was read/write/accept-blocked on.
+    wait_channel: Optional[int] = None
 
     def to_json(self) -> dict:
         return {
@@ -126,6 +150,9 @@ class ThreadRecord:
             "futex_addr": self.futex_addr,
             "pmu_remaining": self.pmu_remaining,
             "pmu_handler": self.pmu_handler,
+            "sigmask": self.sigmask,
+            "pending": self.pending,
+            "wait_channel": self.wait_channel,
         }
 
     @classmethod
@@ -138,6 +165,9 @@ class ThreadRecord:
             futex_addr=data.get("futex_addr"),
             pmu_remaining=data.get("pmu_remaining"),
             pmu_handler=data.get("pmu_handler"),
+            sigmask=data.get("sigmask", 0),
+            pending=data.get("pending", 0),
+            wait_channel=data.get("wait_channel"),
         )
 
 
@@ -170,6 +200,27 @@ class Pinball:
     #: tids in wake order.  Lets replay re-execute FUTEX_WAKE natively
     #: with the recorded wake order.
     futex_waiters: Dict[int, List[int]] = field(default_factory=dict)
+    #: Kernel channel table at region start: cid -> {"capacity", "data"
+    #: (hex), "readers", "writers"}.  Restored so in-region pipe/socket
+    #: traffic re-executes against the recorded buffer contents and
+    #: descriptor refcounts.
+    channels: Dict[int, dict] = field(default_factory=dict)
+    #: Channel wait-queue order at region start: cid -> waiter tids.
+    channel_waiters: Dict[int, List[int]] = field(default_factory=dict)
+    #: Listening sockets at region start: port -> {"backlog",
+    #: "wait_cid", "queue": [[read_cid, write_cid], ...]}.
+    listeners: Dict[int, dict] = field(default_factory=dict)
+    #: Installed signal dispositions: signum -> [handler, sa_mask].
+    sigactions: Dict[int, Tuple[int, int]] = field(default_factory=dict)
+    #: Process-directed pending-signal bitmask at region start.
+    process_pending: int = 0
+    #: SysV shared-memory table: shmid -> {"key", "size", "data" (hex),
+    #: "attached_at", "attached_len"}.
+    shm_segments: Dict[int, dict] = field(default_factory=dict)
+    #: Kernel id counters, so in-region channel/segment creation assigns
+    #: the recorded ids during replay.
+    next_channel_id: int = 1
+    next_shmid: int = 1
 
     # -- derived -----------------------------------------------------------
 
@@ -270,6 +321,19 @@ class Pinball:
             "open_files": [record.to_json() for record in self.open_files],
             "futex_waiters": {str(addr): tids for addr, tids
                               in self.futex_waiters.items()},
+            "channels": {str(cid): chan for cid, chan
+                         in self.channels.items()},
+            "channel_waiters": {str(cid): tids for cid, tids
+                                in self.channel_waiters.items()},
+            "listeners": {str(port): listener for port, listener
+                          in self.listeners.items()},
+            "sigactions": {str(sig): list(act) for sig, act
+                           in self.sigactions.items()},
+            "process_pending": self.process_pending,
+            "shm_segments": {str(shmid): seg for shmid, seg
+                             in self.shm_segments.items()},
+            "next_channel_id": self.next_channel_id,
+            "next_shmid": self.next_shmid,
         }
 
     @classmethod
@@ -295,6 +359,19 @@ class Pinball:
                         for item in meta.get("open_files", [])],
             futex_waiters={int(addr): list(tids) for addr, tids
                            in meta.get("futex_waiters", {}).items()},
+            channels={int(cid): dict(chan) for cid, chan
+                      in meta.get("channels", {}).items()},
+            channel_waiters={int(cid): list(tids) for cid, tids
+                             in meta.get("channel_waiters", {}).items()},
+            listeners={int(port): dict(listener) for port, listener
+                       in meta.get("listeners", {}).items()},
+            sigactions={int(sig): (act[0], act[1]) for sig, act
+                        in meta.get("sigactions", {}).items()},
+            process_pending=meta.get("process_pending", 0),
+            shm_segments={int(shmid): dict(seg) for shmid, seg
+                          in meta.get("shm_segments", {}).items()},
+            next_channel_id=meta.get("next_channel_id", 1),
+            next_shmid=meta.get("next_shmid", 1),
         )
 
     def save(self, directory: str) -> str:

@@ -30,10 +30,10 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
-from repro.machine.kernel import NR
+from repro.machine.kernel import NR, Listener, ShmSegment
 from repro.machine.machine import ExitStatus, Machine
 from repro.machine.tool import Tool
-from repro.machine.vfs import FileSystem, VfsError
+from repro.machine.vfs import Channel, FileSystem, OpenFile, VfsError
 from repro.observe import hooks
 from repro.pinplay.pinball import Pinball, SyscallRecord
 
@@ -171,8 +171,11 @@ class _InjectionTool(Tool):
                 % (thread.tid, number, record.number))
             return True
         queue.pop(0)
-        if number in self.NATIVE_SYSCALLS:
-            # Must really run; on_syscall_after checks the result.
+        if record.native or number in self.NATIVE_SYSCALLS:
+            # Must really run; on_syscall_after checks the result.  The
+            # per-record flag covers calls whose nativeness depends on
+            # the descriptor (read/write/close/dup on channel ends);
+            # the static set covers pinballs from older recordings.
             self._pending[thread.tid] = record
             self.native_syscalls += 1
             return None
@@ -227,11 +230,14 @@ def _reconstruct(pinball: Pinball, seed: int,
     replay); without it they free-run, mimicking an ELFie start.
     """
     machine = Machine(seed=seed, fs=fs)
+    kernel = machine.kernel
     for addr, (prot, data) in pinball.pages.items():
         machine.mem.map(addr, len(data), prot, data=data)
-    machine.kernel.set_brk(pinball.brk_start, pinball.brk_end)
+    kernel.set_brk(pinball.brk_start, pinball.brk_end)
     for record in sorted(pinball.threads, key=lambda r: r.tid):
         thread = machine.create_thread(regs=record.regs, tid=record.tid)
+        thread.sigmask = record.sigmask
+        thread.pending = record.pending
         if record.pmu_remaining is not None:
             # Re-arm the trap that was pending at region start; replay
             # icounts restart at zero, so the recorded remaining
@@ -240,9 +246,58 @@ def _reconstruct(pinball: Pinball, seed: int,
             thread.pmu_handler = record.pmu_handler
     if pinball.next_tid:
         machine._next_tid = max(machine._next_tid, pinball.next_tid)
+
+    # Signal and IPC kernel state captured at region start.  The
+    # recorded channel refcounts are restored verbatim; channel-backed
+    # descriptors are installed below without re-accounting.
+    kernel.sigactions = dict(pinball.sigactions)
+    kernel.process_pending = pinball.process_pending
+    channels: Dict[int, Channel] = {}
+    for cid, chan in pinball.channels.items():
+        channels[cid] = Channel(
+            cid=cid, capacity=chan["capacity"],
+            data=bytearray(bytes.fromhex(chan.get("data", ""))),
+            readers=chan.get("readers", 0),
+            writers=chan.get("writers", 0))
+    kernel.channels = channels
+    kernel._next_channel_id = max(pinball.next_channel_id,
+                                  max(channels, default=0) + 1)
+    for port, listener in pinball.listeners.items():
+        kernel._listeners[port] = Listener(
+            port=port, backlog=listener["backlog"],
+            queue=[(rc, wc) for rc, wc in listener.get("queue", [])],
+            wait_cid=listener.get("wait_cid", 0))
+    for shmid, seg in pinball.shm_segments.items():
+        kernel.shm_segments[shmid] = ShmSegment(
+            shmid=shmid, key=seg["key"], size=seg["size"],
+            data=bytearray(bytes.fromhex(seg.get("data", ""))),
+            attached_at=seg.get("attached_at"),
+            attached_len=seg.get("attached_len", 0))
+    kernel._next_shmid = max(pinball.next_shmid,
+                             max(kernel.shm_segments, default=0) + 1)
+
+    shared_endpoints: Dict[tuple, OpenFile] = {}
     for open_file in pinball.open_files:
+        if open_file.kind != "file":
+            # Dup'ed endpoint descriptors share one description; key on
+            # the endpoint identity so dups restore as dups.
+            key = (open_file.kind, open_file.read_cid,
+                   open_file.write_cid, open_file.bound_port)
+            endpoint = shared_endpoints.get(key)
+            if endpoint is None:
+                endpoint = OpenFile(
+                    path=open_file.path, flags=open_file.flags,
+                    kind=open_file.kind,
+                    read_ch=(channels.get(open_file.read_cid)
+                             if open_file.read_cid is not None else None),
+                    write_ch=(channels.get(open_file.write_cid)
+                              if open_file.write_cid is not None else None),
+                    bound_port=open_file.bound_port)
+                shared_endpoints[key] = endpoint
+            kernel.fdt.restore_unaccounted(open_file.fd, endpoint)
+            continue
         try:
-            machine.kernel.fdt.restore(
+            kernel.fdt.restore(
                 open_file.fd, open_file.path, open_file.flags,
                 open_file.offset)
         except VfsError:
@@ -251,21 +306,31 @@ def _reconstruct(pinball: Pinball, seed: int,
             # will (correctly) observe EBADF like a bare ELFie would.
             pass
     if restore_blocked:
-        waiters = machine.kernel._futex_waiters
+        waiters = kernel._futex_waiters
         for addr, tids in pinball.futex_waiters.items():
             queue = [tid for tid in tids if tid in machine.threads]
             if queue:
                 waiters[addr] = queue
+        channel_waiters = kernel._channel_waiters
+        for cid, tids in pinball.channel_waiters.items():
+            queue = [tid for tid in tids if tid in machine.threads]
+            if queue:
+                channel_waiters[cid] = queue
         for record in pinball.threads:
             if not record.blocked:
                 continue
             thread = machine.threads[record.tid]
             thread.blocked = True
             thread.futex_addr = record.futex_addr
+            thread.wait_channel = record.wait_channel
             if record.futex_addr is not None:
                 # Older pinballs lack the recorded waiter order; fall
                 # back to tid order (threads are created tid-sorted).
                 queue = waiters.setdefault(record.futex_addr, [])
+                if record.tid not in queue:
+                    queue.append(record.tid)
+            if record.wait_channel is not None:
+                queue = channel_waiters.setdefault(record.wait_channel, [])
                 if record.tid not in queue:
                     queue.append(record.tid)
     return machine

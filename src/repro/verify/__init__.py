@@ -36,6 +36,7 @@ from repro.verify.fuzz import (
     FuzzCase,
     FuzzOutcome,
     FuzzSummary,
+    aslr_invariance,
     build_case,
     generate_case,
     run_case,
@@ -81,6 +82,7 @@ __all__ = [
     "FuzzCase",
     "FuzzOutcome",
     "FuzzSummary",
+    "aslr_invariance",
     "build_case",
     "generate_case",
     "run_case",

@@ -50,6 +50,11 @@ ALL_FEATURES: Tuple[str, ...] = (
     "futex",      # worker threads + futex wait/wake handshakes
     "pmu",        # mid-block PMU trap ends the program via a handler
     "loops",      # counted work loops (harvestable back-edge markers)
+    "signals",    # rt_sigaction + kill(self) + handler/sigreturn churn
+    "pipes",      # pipe() write/read round-trips through a channel
+    "shm",        # SysV shmget/shmat/store/shmdt (sometimes leaked)
+    "aslr",       # load the image at a randomized base (not an action:
+                  # the whole pipeline runs with an ASLR slide)
 )
 
 _INPUT_PATH = "/fuzz_in.dat"
@@ -77,6 +82,15 @@ class FuzzCase:
     @property
     def name(self) -> str:
         return "fuzz-%d" % self.seed
+
+    @property
+    def aslr_seed(self) -> Optional[int]:
+        """Slide seed for the whole pipeline, or None for base loads.
+
+        Derived from the case seed so corpus replays use the same base
+        without widening the persisted JSON schema.
+        """
+        return self.seed if "aslr" in self.features else None
 
     def to_json(self) -> dict:
         return {
@@ -195,6 +209,64 @@ def _main_action(feature: str, rng: random.Random, index: int,
             lines += ["    mov rax, 10         ; mprotect(r13, 4096, R)",
                       "    mov rdi, r13", "    mov rsi, 4096",
                       "    mov rdx, 1", "    syscall"]
+    elif feature == "signals":
+        masked = rng.random() < 0.4
+        if masked:
+            # Raise while blocked, then unmask: delivery happens at the
+            # slice the unblocking sigprocmask ends, not the kill.
+            lines += ["    mov rax, 14         ; sigprocmask(BLOCK, usr1)",
+                      "    mov rdi, 0", "    mov rsi, blockmask",
+                      "    mov rdx, 0", "    syscall"]
+        lines += [
+            "    mov rax, 39         ; getpid",
+            "    syscall",
+            "    mov rdi, rax",
+            "    mov rsi, 10         ; kill(pid, SIGUSR1)",
+            "    mov rax, 62",
+            "    syscall",
+        ]
+        if masked:
+            lines += ["    mov rax, 14         ; sigprocmask(UNBLOCK, usr1)",
+                      "    mov rdi, 1", "    mov rsi, blockmask",
+                      "    mov rdx, 0", "    syscall"]
+        lines += ["    ld rdx, [signote]", "    add rbx, rdx"]
+    elif feature == "pipes":
+        chunk = rng.randint(1, 4)
+        lines += [
+            "    mov rcx, pipefds",
+            "    ld4 rdi, [rcx+4]    ; write end",
+            "    mov rax, 1",
+            "    mov rsi, msg",
+            "    mov rdx, %d" % chunk,
+            "    syscall",
+            "    mov rcx, pipefds",
+            "    ld4 rdi, [rcx]      ; read end (data queued: no block)",
+            "    mov rax, 0",
+            "    mov rsi, pipebuf",
+            "    mov rdx, %d" % chunk,
+            "    syscall",
+            "    ld4 rcx, [pipebuf]",
+            "    add rbx, rcx",
+        ]
+    elif feature == "shm":
+        value = rng.randint(1, 0xFFFF)
+        lines += [
+            "    mov rax, 29         ; shmget(IPC_PRIVATE, 4096, CREAT)",
+            "    mov rdi, 0", "    mov rsi, 4096", "    mov rdx, 512",
+            "    syscall", "    mov r13, rax",
+            "    mov rax, 30         ; shmat(shmid, 0, 0)",
+            "    mov rdi, r13", "    mov rsi, 0", "    mov rdx, 0",
+            "    syscall", "    mov r12, rax",
+            "    mov rcx, %d" % value,
+            "    st [r12], rcx", "    ld rdx, [r12]", "    add rbx, rdx",
+            "    mov rax, 67         ; shmdt(addr)",
+            "    mov rdi, r12", "    syscall",
+        ]
+        if rng.random() < 0.7:
+            lines += ["    mov rax, 31         ; shmctl(shmid, IPC_RMID)",
+                      "    mov rdi, r13", "    mov rsi, 0",
+                      "    mov rdx, 0", "    syscall"]
+        # else: leak the detached segment into the region's kernel state
     elif feature == "loops":
         trips = rng.randint(3, 9)
         step = rng.randint(1, 63)
@@ -271,6 +343,24 @@ def _program_source(case: FuzzCase) -> Tuple[str, str]:
         ]
         data += ["inpath:", '    .asciz "%s"' % _INPUT_PATH,
                  "buf:", "    .zero 16"]
+    if "signals" in case.features:
+        lines += [
+            "    mov rax, 13         ; rt_sigaction(SIGUSR1, sigact, 0)",
+            "    mov rdi, 10", "    mov rsi, sigact", "    mov rdx, 0",
+            "    syscall",
+        ]
+        # `.quad sighandler` is an absolute address slot: the builder
+        # records it in .pxreloc, so ASLR cases keep a valid handler.
+        data += ["sigact:", "    .quad sighandler", "    .quad 0",
+                 "signote:", "    .quad 0",
+                 "blockmask:", "    .quad 512   ; 1 << (SIGUSR1 - 1)"]
+    if "pipes" in case.features:
+        lines += [
+            "    mov rax, 22         ; pipe(pipefds)",
+            "    mov rdi, pipefds", "    syscall",
+        ]
+        data += ["pipefds:", "    .quad 0",
+                 "pipebuf:", "    .zero 16"]
     for worker in range(workers):
         lines += [
             "    mov rax, 56         ; clone worker %d" % worker,
@@ -283,9 +373,25 @@ def _program_source(case: FuzzCase) -> Tuple[str, str]:
                  "    .zero 2048", "wstack%d_top:" % worker,
                  "    .quad 0"]
 
-    actionable = [f for f in case.features if f not in ("futex", "pmu")]
+    actionable = [f for f in case.features
+                  if f not in ("futex", "pmu", "aslr")]
     for index in range(case.iterations * 3):
         _main_action(rng.choice(actionable), rng, index, lines)
+
+    # With workers around, the main thread does one read that can
+    # genuinely block — worker 0 feeds the 4 bytes from its epilogue —
+    # exercising the blocking-read park/re-execute path mid-program.
+    if workers and "pipes" in case.features:
+        lines += [
+            "    mov rcx, pipefds",
+            "    ld4 rdi, [rcx]      ; blocking read: worker 0 feeds it",
+            "    mov rax, 0",
+            "    mov rsi, pipebuf",
+            "    mov rdx, 4",
+            "    syscall",
+            "    ld4 rcx, [pipebuf]",
+            "    add rbx, rcx",
+        ]
 
     # Join the workers: futex-wait until each posts its flag.
     for worker in range(workers):
@@ -322,12 +428,41 @@ def _program_source(case: FuzzCase) -> Tuple[str, str]:
     ]
     for worker in range(workers):
         spins = 5 + 3 * worker + (case.seed % 7)
+        if worker == 0 and ("signals" in case.features
+                            or "pipes" in case.features):
+            # Long enough that the main thread usually reaches its
+            # blocking read / join futex wait first, so the epilogue's
+            # pokes land on a genuinely parked thread.
+            spins += 40
         lines += [
             "worker%d:" % worker,
             "    mov rcx, %d" % spins,
             "wloop%d:" % worker,
             "    add rdx, 3", "    sub rcx, 1", "    cmp rcx, 0",
             "    jnz wloop%d" % worker,
+        ]
+        if worker == 0:
+            # Worker 0's epilogue pokes the main thread: a cross-thread
+            # signal that can land while main sits in its join futex
+            # wait (the -EINTR + handler + restart path), and the pipe
+            # bytes that satisfy main's blocking read.
+            if "signals" in case.features:
+                lines += [
+                    "    mov rax, 200        ; tkill(main, SIGUSR1)",
+                    "    mov rdi, 0",
+                    "    mov rsi, 10",
+                    "    syscall",
+                ]
+            if "pipes" in case.features:
+                lines += [
+                    "    mov rcx, pipefds",
+                    "    ld4 rdi, [rcx+4]",
+                    "    mov rax, 1          ; feed main's blocking read",
+                    "    mov rsi, msg",
+                    "    mov rdx, 4",
+                    "    syscall",
+                ]
+        lines += [
             "    mov rcx, 1",
             "    st4 [wflag%d], rcx" % worker,
             "    mov rax, 202        ; futex(WAKE, wflag, 1)",
@@ -335,6 +470,17 @@ def _program_source(case: FuzzCase) -> Tuple[str, str]:
             "    mov rsi, 1", "    mov rdx, 1", "    syscall",
             "    mov rax, 60         ; exit(0)",
             "    mov rdi, 0", "    syscall",
+        ]
+    if "signals" in case.features:
+        # Registers are frame-saved/restored around delivery, so the
+        # handler reports through memory; rdi holds the signal number.
+        lines += [
+            "sighandler:",
+            "    ld rcx, [signote]",
+            "    add rcx, rdi",
+            "    st [signote], rcx",
+            "    mov rax, 15         ; rt_sigreturn",
+            "    syscall",
         ]
     if "smc" in case.features or "smcwrite" in case.features:
         lines += [
@@ -362,10 +508,11 @@ def build_case(case: FuzzCase) -> Tuple[bytes, FileSystem]:
     return build_executable(source, data_source=data), _case_fs(case)
 
 
-def _measure(image: bytes, fs: FileSystem, seed: int) -> Optional[int]:
+def _measure(image: bytes, fs: FileSystem, seed: int,
+             aslr_seed: Optional[int] = None) -> Optional[int]:
     """Total icount of a clean native run, or None if it misbehaves."""
     machine = Machine(seed=seed, fs=fs)
-    load_elf(machine, image)
+    load_elf(machine, image, aslr_seed=aslr_seed)
     status = machine.run(max_instructions=2_000_000)
     if status.kind != "exit":
         return None
@@ -381,6 +528,9 @@ def _pick_marker_region(case: FuzzCase, image: bytes, fs: FileSystem,
     percentage window to slice boundaries: the start is a slice start,
     the end an *interior* slice boundary, so both edges are exact
     work-loop crossing counts the LoopPoint replay meter can find.
+
+    Profiling always runs at the link-time base: an ASLR slide changes
+    addresses, never control flow, so marker icounts are base-invariant.
     """
     from repro.looppoint.profile import collect_looppoint
     profile = collect_looppoint(image, slice_markers=4, seed=seed, fs=fs)
@@ -430,7 +580,7 @@ def _dispatch_divergence(case: FuzzCase, image: bytes, seed: int,
         prev = set_default_dispatch(tier)
         try:
             machine = Machine(seed=seed, fs=_case_fs(case))
-            load_elf(machine, image)
+            load_elf(machine, image, aslr_seed=case.aslr_seed)
             status = machine.run(max_instructions=2_000_000)
         finally:
             set_default_dispatch(prev)
@@ -473,7 +623,7 @@ def run_case(case: FuzzCase, seed: int = 0, check_elfie: bool = True,
     except Exception as exc:  # generator produced unassemblable code
         return FuzzOutcome(case=case, ok=False, stage="build",
                            detail=str(exc))
-    total = _measure(image, fs, seed)
+    total = _measure(image, fs, seed, aslr_seed=case.aslr_seed)
     if total is None:
         return FuzzOutcome(case=case, ok=False, stage="build",
                            detail="native run did not exit gracefully")
@@ -491,12 +641,14 @@ def run_case(case: FuzzCase, seed: int = 0, check_elfie: bool = True,
                                % total)
     try:
         pinball = log_region(image, region, seed=seed, fs=_case_fs(case),
-                             options=LogOptions(name=case.name))
+                             options=LogOptions(name=case.name),
+                             aslr_seed=case.aslr_seed)
     except Exception as exc:
         return FuzzOutcome(case=case, ok=False, stage="record",
                            detail=str(exc))
 
-    report = verify_pinball(image, pinball, seed=seed, fs=_case_fs(case))
+    report = verify_pinball(image, pinball, seed=seed, fs=_case_fs(case),
+                            aslr_seed=case.aslr_seed)
     if not report.ok:
         return FuzzOutcome(case=case, ok=False, stage="replay",
                            detail=str(report.divergence), report=report)
@@ -512,6 +664,91 @@ def run_case(case: FuzzCase, seed: int = 0, check_elfie: bool = True,
         if not entry.ok:
             return FuzzOutcome(case=case, ok=False, stage="elfie",
                                detail=entry.detail, report=report)
+    return FuzzOutcome(case=case, ok=True, report=report)
+
+
+def aslr_invariance(case: FuzzCase, aslr_seed: int,
+                    seed: int = 0) -> FuzzOutcome:
+    """Check that region selection and replay are invariant to the base.
+
+    Builds *case*'s workload once, selects one icount window, and
+    captures it twice — at the link base and at the ``aslr_seed`` slide.
+    The slid capture must replay bit-identically against its own native
+    run (the lockstep digest verifier), and the two captures must
+    describe the same architectural work: same tids, same per-thread
+    region icounts, every thread's entry rip displaced by exactly the
+    slide, and the same in-region syscall sequence.
+    """
+    from repro.machine.loader import aslr_slide
+    from repro.pinplay.replayer import replay
+
+    try:
+        image, _ = build_case(case)
+    except Exception as exc:
+        return FuzzOutcome(case=case, ok=False, stage="build",
+                           detail=str(exc))
+    totals = [_measure(image, _case_fs(case), seed, aslr_seed=aslr)
+              for aslr in (None, aslr_seed)]
+    if None in totals:
+        return FuzzOutcome(case=case, ok=False, stage="build",
+                           detail="native run did not exit gracefully")
+    if totals[0] != totals[1]:
+        return FuzzOutcome(
+            case=case, ok=False, stage="aslr",
+            detail="whole-run icount not slide-invariant: %d at base, "
+                   "%d slid" % (totals[0], totals[1]))
+    region = _pick_region(case, totals[0])
+    if region is None:
+        return FuzzOutcome(case=case, ok=False, stage="build",
+                           detail="program too short (%d instructions)"
+                           % totals[0])
+    pinballs = []
+    for aslr in (None, aslr_seed):
+        try:
+            pinball = log_region(image, region, seed=seed,
+                                 fs=_case_fs(case),
+                                 options=LogOptions(name=case.name),
+                                 aslr_seed=aslr)
+        except Exception as exc:
+            return FuzzOutcome(case=case, ok=False, stage="record",
+                               detail=str(exc))
+        result = replay(pinball)
+        if result.diverged is not None:
+            return FuzzOutcome(case=case, ok=False, stage="replay",
+                               detail=str(result.diverged))
+        pinballs.append(pinball)
+    report = verify_pinball(image, pinballs[1], seed=seed,
+                            fs=_case_fs(case), aslr_seed=aslr_seed)
+    if not report.ok:
+        return FuzzOutcome(case=case, ok=False, stage="replay",
+                           detail=str(report.divergence), report=report)
+    slide = aslr_slide(aslr_seed)
+    plain, slid = pinballs
+    base_threads = {t.tid: t for t in plain.threads}
+    slid_threads = {t.tid: t for t in slid.threads}
+    if sorted(base_threads) != sorted(slid_threads):
+        return FuzzOutcome(case=case, ok=False, stage="aslr",
+                           detail="captured thread sets differ across bases")
+    for tid, base_thread in base_threads.items():
+        other = slid_threads[tid]
+        if base_thread.region_icount != other.region_icount:
+            return FuzzOutcome(
+                case=case, ok=False, stage="aslr",
+                detail="tid %d region icount differs across bases: "
+                       "%d vs %d" % (tid, base_thread.region_icount,
+                                     other.region_icount))
+        if base_thread.regs.rip + slide != other.regs.rip:
+            return FuzzOutcome(
+                case=case, ok=False, stage="aslr",
+                detail="tid %d entry rip not displaced by the slide: "
+                       "0x%x vs 0x%x (slide 0x%x)"
+                       % (tid, base_thread.regs.rip, other.regs.rip, slide))
+    base_calls = [(r.tid, r.number) for r in plain.syscalls]
+    slid_calls = [(r.tid, r.number) for r in slid.syscalls]
+    if base_calls != slid_calls:
+        return FuzzOutcome(case=case, ok=False, stage="aslr",
+                           detail="in-region syscall sequence differs "
+                                  "across bases")
     return FuzzOutcome(case=case, ok=True, report=report)
 
 

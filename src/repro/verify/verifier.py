@@ -75,10 +75,11 @@ class NativeCursor:
 
     def __init__(self, image: bytes, pinball: Pinball, seed: int = 0,
                  fs: Optional[FileSystem] = None,
-                 argv: Optional[Sequence[str]] = None) -> None:
+                 argv: Optional[Sequence[str]] = None,
+                 aslr_seed: Optional[int] = None) -> None:
         self.pinball = pinball
         self.machine = Machine(seed=seed, fs=fs)
-        load_elf(self.machine, image, argv=argv)
+        load_elf(self.machine, image, argv=argv, aslr_seed=aslr_seed)
         start = pinball.region.warmup_start
         if start:
             status = self.machine.run(max_instructions=start)
@@ -469,13 +470,19 @@ def verify_pinball(image: bytes, pinball: Pinball, seed: int = 0,
                    fs: Optional[FileSystem] = None,
                    argv: Optional[Sequence[str]] = None,
                    epochs: int = DEFAULT_EPOCHS,
-                   bisect: bool = True) -> FidelityReport:
-    """Differentially verify a pinball against its source workload."""
+                   bisect: bool = True,
+                   aslr_seed: Optional[int] = None) -> FidelityReport:
+    """Differentially verify a pinball against its source workload.
+
+    *aslr_seed* must match the seed the pinball was logged with: the
+    native reference re-loads the image, and a different base would
+    diverge from the captured (absolute-address) pages immediately.
+    """
 
     def make_pair():
         return (
             NativeCursor(image, pinball, seed=seed, fs=_fork_fs(fs),
-                         argv=argv),
+                         argv=argv, aslr_seed=aslr_seed),
             ReplayCursor(pinball, seed=seed, fs=_fork_fs(fs)),
         )
 

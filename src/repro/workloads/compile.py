@@ -47,14 +47,17 @@ def compile_program(source: str, data_source: str = "",
     joint.emit_bytes(b"\x00" * pad)
     joint.add(data_source)
     program = joint.assemble()
+    split = data_base - text_base
     code = AssembledProgram(
         base=text_base, code=program.code[:code_size],
         labels={k: v for k, v in program.labels.items() if v < data_base},
+        relocs=[off for off in program.relocs if off < code_size],
     )
     data = AssembledProgram(
         base=data_base,
-        code=program.code[data_base - text_base:],
+        code=program.code[split:],
         labels={k: v for k, v in program.labels.items() if v >= data_base},
+        relocs=[off - split for off in program.relocs if off >= split],
     )
     return code, data
 
@@ -97,6 +100,10 @@ def build_executable(source: str, data_source: str = "",
             flags=SHF_ALLOC | SHF_WRITE, align=4096, prot=PROT_RW,
         )
         all_labels["__bss_start"] = bss_base
+    reloc_vaddrs = [text_base + off for off in code.relocs]
+    if data is not None:
+        reloc_vaddrs.extend(data_base + off for off in data.relocs)
+    builder.add_relocations(reloc_vaddrs)
     for name, value in sorted(all_labels.items()):
         builder.add_symbol(name, value)
     return builder.build()
@@ -106,12 +113,14 @@ def run_program(image: bytes, seed: int = 0,
                 argv: Optional[Sequence[str]] = None,
                 fs: Optional[FileSystem] = None,
                 max_instructions: Optional[int] = None,
-                root: str = "/") -> Tuple[Machine, ExitStatus, LoadedImage]:
+                root: str = "/",
+                aslr_seed: Optional[int] = None,
+                ) -> Tuple[Machine, ExitStatus, LoadedImage]:
     """Load an ELF image into a fresh machine and run it.
 
     Returns (machine, exit status, loaded image) for inspection.
     """
     machine = Machine(seed=seed, fs=fs, root=root)
-    loaded = load_elf(machine, image, argv=argv)
+    loaded = load_elf(machine, image, argv=argv, aslr_seed=aslr_seed)
     status = machine.run(max_instructions=max_instructions)
     return machine, status, loaded

@@ -102,3 +102,10 @@ def test_run_command(pinball_prefix, tmp_path, capsys):
     assert code == 0
     out = capsys.readouterr().out
     assert "status: exit" in out
+
+
+def test_verify_aslr_invariance_gate(capsys):
+    code = main(["verify", "aslr", "--cases", "2"])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "aslr invariance: 2 cases, 0 failing" in out
